@@ -1,0 +1,61 @@
+"""Figure 4: throughput slowdown of TREATY's 2PC protocol, no storage.
+
+Paper (§VIII-B): YCSB 50R/50W through the 2PC protocol with *no
+underlying storage engine*, four versions normalized to a native,
+non-secure 2PC:
+
+* Native 2PC w/ Enc   — minimal encryption overhead (~1.0-1.2x)
+* Secure 2PC w/o Enc  — ~1.8x slowdown
+* Secure 2PC w/ Enc   — ~2x slowdown
+"""
+
+from repro.config import (
+    DS_ROCKSDB,
+    NATIVE_TREATY_ENC,
+    TREATY_ENC,
+    TREATY_NO_ENC,
+)
+from repro.bench.harness import twopc_only
+from repro.bench.reporting import ComparisonTable
+
+#: (profile, label, paper slowdown band vs native 2PC)
+SYSTEMS = [
+    (DS_ROCKSDB, "Native 2PC", None),
+    (NATIVE_TREATY_ENC, "Native 2PC w/ Enc", (0.9, 1.4)),
+    (TREATY_NO_ENC, "Secure 2PC w/o Enc", (1.4, 2.4)),
+    (TREATY_ENC, "Secure 2PC w/ Enc", (1.6, 2.7)),
+]
+
+
+def test_figure4_twopc_protocol(benchmark):
+    results = {}
+
+    def run():
+        for profile, label, _band in SYSTEMS:
+            results[label] = twopc_only(profile)
+
+    table = ComparisonTable("Figure 4: 2PC-only slowdown vs native 2PC")
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = results["Native 2PC"].throughput()
+    for _profile, label, band in SYSTEMS:
+        throughput = results[label].throughput()
+        slowdown = baseline / max(throughput, 1e-9)
+        table.add(
+            label,
+            slowdown,
+            "x",
+            paper_range=band,
+            note="%.0f tps" % throughput,
+        )
+    benchmark.extra_info.update(table.results())
+    print(table.render())
+
+
+if __name__ == "__main__":
+    class _Fake:
+        extra_info = {}
+
+        def pedantic(self, fn, rounds=1, iterations=1):
+            fn()
+
+    test_figure4_twopc_protocol(_Fake())

@@ -1,0 +1,71 @@
+"""Figure 5: distributed transactions under YCSB (write- and read-heavy).
+
+Paper (§VIII-C): 3-node cluster, 96 clients, YCSB with 20 %R and 80 %R.
+Throughput slowdowns w.r.t. native DS-RocksDB:
+
+* W-heavy (20 %R): Treaty versions 9x-15x slower (DS-RocksDB: 18.5 ktps)
+* R-heavy (80 %R): Treaty w/o Enc ~9.5x, Treaty w/ Enc ~11x (24 ktps)
+
+plus the latency panel: stabilization raises write-heavy latencies.
+"""
+
+from repro.config import DS_ROCKSDB, TREATY_ENC, TREATY_FULL, TREATY_NO_ENC
+from repro.bench.harness import ycsb_distributed
+from repro.bench.reporting import ComparisonTable
+
+SYSTEMS = [
+    (DS_ROCKSDB, None, None),
+    (TREATY_NO_ENC, (6.0, 16.0), (6.0, 13.0)),
+    (TREATY_ENC, (7.0, 17.0), (7.0, 15.0)),
+    (TREATY_FULL, (8.0, 18.0), (7.0, 17.5)),
+]
+
+
+def _run_panel(read_proportion, band_index, title, benchmark_extra):
+    results = {}
+    for profile, *_bands in SYSTEMS:
+        results[profile.name] = ycsb_distributed(profile, read_proportion)
+    baseline = results["DS-RocksDB"].throughput()
+    table = ComparisonTable(title)
+    for profile, w_band, r_band in SYSTEMS:
+        band = (w_band, r_band)[band_index]
+        metrics = results[profile.name]
+        slowdown = baseline / max(metrics.throughput(), 1e-9)
+        table.add(
+            profile.name,
+            slowdown,
+            "x",
+            paper_range=band,
+            note="%.0f tps, lat %.1f ms" % (
+                metrics.throughput(), metrics.mean_latency() * 1e3
+            ),
+        )
+    benchmark_extra.update(table.results())
+    print(table.render())
+
+
+def test_figure5_write_heavy(benchmark):
+    benchmark.pedantic(
+        lambda: _run_panel(
+            0.2, 0, "Figure 5 (left): YCSB 20%R slowdown vs DS-RocksDB",
+            benchmark.extra_info,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_figure5_read_heavy(benchmark):
+    benchmark.pedantic(
+        lambda: _run_panel(
+            0.8, 1, "Figure 5 (right): YCSB 80%R slowdown vs DS-RocksDB",
+            benchmark.extra_info,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    _run_panel(0.2, 0, "Figure 5 (left): YCSB 20%R", {})
+    _run_panel(0.8, 1, "Figure 5 (right): YCSB 80%R", {})

@@ -1,0 +1,104 @@
+"""Figure 6: single-node *pessimistic* transactions (TPC-C + YCSB).
+
+Paper (§VIII-D), six systems on one node:
+
+* Native Treaty performs equivalently to RocksDB;
+* Native Treaty w/ Enc adds minimal overhead;
+* Treaty w/o Enc (SCONE) ~1.6x, w/ Enc ~2x, w/ Enc w/ Stab ~2.1x on
+  TPC-C; YCSB read-heavy w/ Enc ~2.7x-2.8x.
+"""
+
+from repro.config import (
+    DS_ROCKSDB,
+    NATIVE_TREATY,
+    NATIVE_TREATY_ENC,
+    TREATY_ENC,
+    TREATY_FULL,
+    TREATY_NO_ENC,
+)
+from repro.bench.harness import tpcc_single_node, ycsb_single_node
+from repro.bench.reporting import ComparisonTable
+
+# (profile, tpcc band, ycsb band) — slowdown vs single-node RocksDB.
+SYSTEMS = [
+    (DS_ROCKSDB, None, None),  # reported as "RocksDB" in this figure
+    (NATIVE_TREATY, (0.9, 1.2), (0.9, 1.2)),
+    (NATIVE_TREATY_ENC, (0.9, 1.5), (1.0, 1.7)),
+    (TREATY_NO_ENC, (1.2, 2.2), (1.4, 2.6)),
+    (TREATY_ENC, (1.5, 2.7), (1.8, 3.4)),
+    (TREATY_FULL, (1.6, 2.8), (1.9, 4.2)),
+]
+
+
+def _render(results, band_index, title, extra_info):
+    baseline = results["DS-RocksDB"].throughput()
+    table = ComparisonTable(title)
+    for profile, *bands in SYSTEMS:
+        metrics = results[profile.name]
+        slowdown = baseline / max(metrics.throughput(), 1e-9)
+        label = "RocksDB" if profile.name == "DS-RocksDB" else profile.name
+        table.add(
+            label,
+            slowdown,
+            "x",
+            paper_range=bands[band_index],
+            note="%.0f tps, lat %.1f ms" % (
+                metrics.throughput(), metrics.mean_latency() * 1e3
+            ),
+        )
+    extra_info.update(table.results())
+    print(table.render())
+
+
+def test_figure6_tpcc(benchmark):
+    def run():
+        results = {
+            profile.name: tpcc_single_node(profile)
+            for profile, *_ in SYSTEMS
+        }
+        _render(
+            results, 0, "Figure 6 (TPC-C): single-node pessimistic Txs",
+            benchmark.extra_info,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_figure6_ycsb_write_heavy(benchmark):
+    def run():
+        results = {
+            profile.name: ycsb_single_node(profile, read_proportion=0.2)
+            for profile, *_ in SYSTEMS
+        }
+        _render(
+            results, 1, "Figure 6 (YCSB 20%R): single-node pessimistic Txs",
+            benchmark.extra_info,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_figure6_ycsb_read_heavy(benchmark):
+    def run():
+        results = {
+            profile.name: ycsb_single_node(profile, read_proportion=0.8)
+            for profile, *_ in SYSTEMS
+        }
+        _render(
+            results, 1, "Figure 6 (YCSB 80%R): single-node pessimistic Txs",
+            benchmark.extra_info,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    class _Info(dict):
+        pass
+
+    results = {p.name: tpcc_single_node(p) for p, *_ in SYSTEMS}
+    _render(results, 0, "Figure 6 (TPC-C)", _Info())
+    results = {p.name: ycsb_single_node(p, 0.2) for p, *_ in SYSTEMS}
+    _render(results, 1, "Figure 6 (YCSB 20%R)", _Info())
+    results = {p.name: ycsb_single_node(p, 0.8) for p, *_ in SYSTEMS}
+    _render(results, 1, "Figure 6 (YCSB 80%R)", _Info())

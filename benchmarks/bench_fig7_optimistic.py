@@ -1,0 +1,88 @@
+"""Figure 7: single-node *optimistic* transactions (TPC-C + YCSB).
+
+Paper (§VIII-D): Treaty w/ Enc w/ Stab performs ~5x (TPC-C) and ~4x
+(YCSB) worse than native RocksDB.  Stabilization adds no throughput
+overhead over Treaty w/ Enc (the fiber scheduler keeps serving) and
+roughly 10 % latency.
+"""
+
+from repro.config import (
+    DS_ROCKSDB,
+    NATIVE_TREATY,
+    NATIVE_TREATY_ENC,
+    TREATY_ENC,
+    TREATY_FULL,
+    TREATY_NO_ENC,
+)
+from repro.bench.harness import tpcc_single_node, ycsb_single_node
+from repro.bench.reporting import ComparisonTable
+
+SYSTEMS = [
+    (DS_ROCKSDB, None, None),
+    (NATIVE_TREATY, (0.9, 1.3), (0.9, 1.3)),
+    (NATIVE_TREATY_ENC, (0.9, 1.7), (1.0, 1.8)),
+    (TREATY_NO_ENC, (1.3, 3.6), (1.4, 3.0)),
+    (TREATY_ENC, (2.0, 5.6), (1.8, 4.6)),
+    (TREATY_FULL, (3.0, 6.5), (2.4, 5.2)),
+]
+
+
+def _render(results, band_index, title, extra_info):
+    baseline = results["DS-RocksDB"].throughput()
+    table = ComparisonTable(title)
+    for profile, *bands in SYSTEMS:
+        metrics = results[profile.name]
+        slowdown = baseline / max(metrics.throughput(), 1e-9)
+        label = "RocksDB" if profile.name == "DS-RocksDB" else profile.name
+        table.add(
+            label,
+            slowdown,
+            "x",
+            paper_range=bands[band_index],
+            note="%.0f tps, lat %.1f ms, %.0f%% aborts" % (
+                metrics.throughput(),
+                metrics.mean_latency() * 1e3,
+                metrics.abort_rate() * 100,
+            ),
+        )
+    extra_info.update(table.results())
+    print(table.render())
+
+
+def test_figure7_tpcc_optimistic(benchmark):
+    def run():
+        results = {
+            profile.name: tpcc_single_node(profile, optimistic=True)
+            for profile, *_ in SYSTEMS
+        }
+        _render(
+            results, 0, "Figure 7 (TPC-C): single-node optimistic Txs",
+            benchmark.extra_info,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_figure7_ycsb_optimistic(benchmark):
+    def run():
+        results = {
+            profile.name: ycsb_single_node(
+                profile, read_proportion=0.8, optimistic=True
+            )
+            for profile, *_ in SYSTEMS
+        }
+        _render(
+            results, 1, "Figure 7 (YCSB 80%R): single-node optimistic Txs",
+            benchmark.extra_info,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    results = {p.name: tpcc_single_node(p, optimistic=True) for p, *_ in SYSTEMS}
+    _render(results, 0, "Figure 7 (TPC-C, OCC)", {})
+    results = {
+        p.name: ycsb_single_node(p, 0.8, optimistic=True) for p, *_ in SYSTEMS
+    }
+    _render(results, 1, "Figure 7 (YCSB 80%R, OCC)", {})

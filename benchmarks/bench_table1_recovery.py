@@ -1,0 +1,52 @@
+"""Table I: recovery overheads w.r.t. native recovery.
+
+Paper (§VIII-F): logs of 800 k small (~100 B) entries; recovery of
+Treaty w/o decryption costs ~1.5x native, with decryption ~2x native.
+Small entries are the worst case: more syscalls and more decryption
+calls per byte.
+"""
+
+from repro.config import DS_ROCKSDB, TREATY_ENC, TREATY_NO_ENC
+from repro.bench.harness import recovery_experiment
+from repro.bench.reporting import ComparisonTable
+
+SYSTEMS = [
+    (DS_ROCKSDB, "Native recovery", None),
+    (TREATY_NO_ENC, "Treaty w/o Enc", (1.1, 2.0)),
+    (TREATY_ENC, "Treaty (w/ Enc)", (1.5, 2.6)),
+]
+
+
+def test_table1_recovery(benchmark):
+    results = {}
+
+    def run():
+        for profile, label, _band in SYSTEMS:
+            results[label] = recovery_experiment(profile)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline, base_bytes = results["Native recovery"]
+    table = ComparisonTable("Table I: recovery slowdown vs native")
+    for _profile, label, band in SYSTEMS:
+        seconds, log_bytes = results[label]
+        table.add(
+            label,
+            seconds / max(baseline, 1e-12),
+            "x",
+            paper_range=band,
+            note="%.1f ms recovery, %.1f MiB log" % (
+                seconds * 1e3, log_bytes / 1048576.0
+            ),
+        )
+    benchmark.extra_info.update(table.results())
+    print(table.render())
+
+
+if __name__ == "__main__":
+    class _Fake:
+        extra_info = {}
+
+        def pedantic(self, fn, rounds=1, iterations=1):
+            fn()
+
+    test_table1_recovery(_Fake())

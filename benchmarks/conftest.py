@@ -1,0 +1,29 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one of the paper's figures or tables.  The
+simulation measures *simulated* time, so pytest-benchmark's wall-clock
+numbers only reflect how long the simulation took to run; the reproduced
+quantities (throughput ratios, latencies, Gbit/s) are printed as
+comparison tables, recorded in each benchmark's ``extra_info``, and —
+because pytest captures stdout — re-emitted in the terminal summary so
+they appear in ``pytest benchmarks/ --benchmark-only`` output.
+
+Set ``REPRO_BENCH_SCALE=full`` for paper-scale client counts/durations.
+"""
+
+_RENDERED = []
+
+
+def publish(text: str) -> None:
+    """Print a results table and queue it for the terminal summary."""
+    print(text)
+    _RENDERED.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED:
+        return
+    terminalreporter.section("paper comparison tables")
+    for text in _RENDERED:
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table sequentially (quick scale by default;
+# REPRO_BENCH_SCALE=full for paper-scale clients and durations).
+set -u
+cd "$(dirname "$0")/.."
+for bench in \
+    benchmarks/bench_fig8_network.py \
+    benchmarks/bench_table1_recovery.py \
+    benchmarks/bench_fig4_twopc.py \
+    benchmarks/bench_fig5_ycsb_distributed.py \
+    benchmarks/bench_fig3_tpcc_distributed.py \
+    benchmarks/bench_fig6_pessimistic.py \
+    benchmarks/bench_fig7_optimistic.py \
+    benchmarks/bench_ablation_counters.py \
+    benchmarks/bench_ablation_design.py
+do
+    echo "===== $bench ====="
+    python "$bench" || echo "!! $bench failed with $?"
+done
+echo "===== all benches done ====="

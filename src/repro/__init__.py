@@ -1,0 +1,86 @@
+"""Treaty: Secure Distributed Transactions (DSN 2022) — reproduction.
+
+A distributed transactional key-value store with serializable ACID
+transactions and strong security properties (confidentiality, integrity,
+freshness) over untrusted storage, network and machines, reproduced as a
+deterministic simulation with real protocol/crypto/log behaviour and a
+calibrated TEE cost model.
+
+Quickstart::
+
+    from repro import TreatyCluster, TREATY_FULL
+
+    cluster = TreatyCluster(profile=TREATY_FULL).start()
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=0)
+
+    def workload():
+        txn = session.begin()
+        yield from txn.put(b"alice", b"100")
+        yield from txn.put(b"bob", b"200")
+        yield from txn.commit()
+
+    cluster.run(workload())
+"""
+
+from .config import (
+    ClusterConfig,
+    CostModel,
+    DS_ROCKSDB,
+    EnvProfile,
+    NATIVE_TREATY,
+    NATIVE_TREATY_ENC,
+    PROFILES,
+    TREATY_ENC,
+    TREATY_FULL,
+    TREATY_NO_ENC,
+)
+from .core import (
+    ClientSession,
+    GlobalTxn,
+    TreatyCluster,
+    TreatyNode,
+    hash_partitioner,
+)
+from .errors import (
+    AttestationError,
+    AuthenticationError,
+    ConflictError,
+    FreshnessError,
+    IntegrityError,
+    LockTimeout,
+    ReplayError,
+    ReproError,
+    SecurityError,
+    TransactionAborted,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttestationError",
+    "AuthenticationError",
+    "ClientSession",
+    "ClusterConfig",
+    "ConflictError",
+    "CostModel",
+    "DS_ROCKSDB",
+    "EnvProfile",
+    "FreshnessError",
+    "GlobalTxn",
+    "IntegrityError",
+    "LockTimeout",
+    "NATIVE_TREATY",
+    "NATIVE_TREATY_ENC",
+    "PROFILES",
+    "ReplayError",
+    "ReproError",
+    "SecurityError",
+    "TransactionAborted",
+    "TREATY_ENC",
+    "TREATY_FULL",
+    "TREATY_NO_ENC",
+    "TreatyCluster",
+    "TreatyNode",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness: metrics, experiment runners, paper-comparison tables."""
+
+from .metrics import MetricsCollector
+
+__all__ = ["MetricsCollector"]

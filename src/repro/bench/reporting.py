@@ -1,0 +1,99 @@
+"""Result tables: measured numbers next to the paper's reported ranges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["PaperRow", "ComparisonTable", "format_table"]
+
+
+@dataclass
+class PaperRow:
+    """One system's result in one experiment."""
+
+    system: str
+    value: float
+    unit: str = ""
+    #: the paper's expected band (min, max) for this quantity, if the
+    #: paper reports one (slowdowns, ratios); None for absolute values.
+    paper_range: Optional[tuple] = None
+    note: str = ""
+
+    def within_paper_range(self) -> Optional[bool]:
+        if self.paper_range is None:
+            return None
+        low, high = self.paper_range
+        return low <= self.value <= high
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Fixed-width text table (what the benchmark scripts print)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = ["", "=== %s ===" % title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+class ComparisonTable:
+    """Collects rows for one figure/table and renders the comparison."""
+
+    def __init__(self, title: str, metric_name: str = "slowdown"):
+        self.title = title
+        self.metric_name = metric_name
+        self.rows: List[PaperRow] = []
+
+    def add(
+        self,
+        system: str,
+        value: float,
+        unit: str = "x",
+        paper_range: Optional[tuple] = None,
+        note: str = "",
+    ) -> None:
+        self.rows.append(PaperRow(system, value, unit, paper_range, note))
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            if row.paper_range is not None:
+                expected = "%.2f-%.2f" % row.paper_range
+                verdict = "OK" if row.within_paper_range() else "off"
+            else:
+                expected, verdict = "-", "-"
+            table_rows.append(
+                (
+                    row.system,
+                    "%.2f%s" % (row.value, row.unit),
+                    expected,
+                    verdict,
+                    row.note,
+                )
+            )
+        return format_table(
+            self.title,
+            ["system", self.metric_name, "paper", "match", "note"],
+            table_rows,
+        )
+
+    def results(self) -> dict:
+        """Machine-readable form (stored into benchmark extra_info)."""
+        return {
+            row.system: {
+                "value": row.value,
+                "unit": row.unit,
+                "paper_range": row.paper_range,
+                "within": row.within_paper_range(),
+            }
+            for row in self.rows
+        }

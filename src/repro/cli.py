@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``   — print the environment profiles and cost-model constants.
+* ``demo``   — run a few secure distributed transactions and print stats.
+* ``ycsb``   — run a YCSB experiment (profile/read-mix/clients options).
+* ``tpcc``   — run a TPC-C experiment.
+* ``attacks``— run the attack-detection demonstration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from .config import PROFILES, ClusterConfig, TREATY_FULL
+from .bench.metrics import MetricsCollector
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default="Treaty w/ Enc w/ Stab",
+        choices=sorted(PROFILES),
+        help="environment profile (which bar of the paper's figures)",
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print("Environment profiles:")
+    for name, profile in sorted(PROFILES.items()):
+        print(
+            "  %-24s runtime=%-6s encryption=%-5s stabilization=%s"
+            % (name, profile.runtime, profile.encryption, profile.stabilization)
+        )
+    print("\nCost model (CostModel defaults):")
+    costs = ClusterConfig().costs
+    for field in dataclasses.fields(costs):
+        print("  %-32s %s" % (field.name, getattr(costs, field.name)))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .core import TreatyCluster
+
+    profile = PROFILES[args.profile]
+    cluster = TreatyCluster(profile=profile).start()
+    session = cluster.session(cluster.client_machine())
+
+    def workload():
+        txn = session.begin()
+        for i in range(args.keys):
+            yield from txn.put(b"demo-%04d" % i, b"value-%d" % i)
+        yield from txn.commit()
+        check = session.begin()
+        value = yield from check.get(b"demo-0000")
+        yield from check.commit()
+        return value
+
+    start = cluster.sim.now
+    value = cluster.run(workload())
+    print("profile      :", profile.name)
+    print("read back    :", value)
+    print("elapsed (sim): %.2f ms" % ((cluster.sim.now - start) * 1e3))
+    coordinator = cluster.nodes[0].coordinator
+    print("2PC commits  :", coordinator.distributed_commits)
+    print("aborts       :", coordinator.aborts)
+    return 0
+
+
+def cmd_ycsb(args: argparse.Namespace) -> int:
+    from .core import TreatyCluster
+    from .workloads import YcsbConfig, bulk_load, run_ycsb
+
+    profile = PROFILES[args.profile]
+    cluster = TreatyCluster(profile=profile).start()
+    config = YcsbConfig(
+        read_proportion=args.reads, num_keys=args.keys,
+        distribution=args.distribution,
+    )
+    cluster.run(bulk_load(cluster, config), name="load")
+    metrics = MetricsCollector(profile.name)
+    run_ycsb(
+        cluster, config, metrics,
+        num_clients=args.clients, duration=args.duration,
+        warmup=args.duration * 0.25,
+    )
+    _print_metrics(metrics)
+    return 0
+
+
+def cmd_tpcc(args: argparse.Namespace) -> int:
+    from .core import TreatyCluster
+    from .workloads import TpccScale, load_tpcc, run_tpcc, tpcc_partitioner
+
+    profile = PROFILES[args.profile]
+    scale = TpccScale(warehouses=args.warehouses)
+    cluster = TreatyCluster(
+        profile=profile, partitioner=tpcc_partitioner(3)
+    ).start()
+    cluster.run(load_tpcc(cluster, scale), name="load")
+    metrics = MetricsCollector(profile.name)
+    run_tpcc(
+        cluster, scale, metrics,
+        num_clients=args.clients, duration=args.duration,
+        warmup=args.duration * 0.25,
+    )
+    _print_metrics(metrics)
+    return 0
+
+
+def cmd_attacks(args: argparse.Namespace) -> int:
+    sys.path.insert(0, "examples")
+    import importlib.util
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..", "examples",
+                        "attack_detection.py")
+    path = os.path.abspath(path)
+    if not os.path.exists(path):
+        print("examples/attack_detection.py not found", file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location("attack_detection", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def _print_metrics(metrics: MetricsCollector) -> None:
+    summary = metrics.summary()
+    print("profile      :", summary["name"])
+    print("throughput   : %.0f tps" % summary["throughput_tps"])
+    print("mean latency : %.2f ms" % summary["mean_latency_ms"])
+    print("p99 latency  : %.2f ms" % summary["p99_ms"])
+    print("committed    : %d   aborted: %d"
+          % (summary["committed"], summary["aborted"]))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Treaty: Secure Distributed Transactions (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="profiles and cost model").set_defaults(
+        func=cmd_info
+    )
+
+    demo = subparsers.add_parser("demo", help="a few secure transactions")
+    _add_profile_argument(demo)
+    demo.add_argument("--keys", type=int, default=8)
+    demo.set_defaults(func=cmd_demo)
+
+    ycsb = subparsers.add_parser("ycsb", help="run a YCSB experiment")
+    _add_profile_argument(ycsb)
+    ycsb.add_argument("--reads", type=float, default=0.5)
+    ycsb.add_argument("--keys", type=int, default=10_000)
+    ycsb.add_argument("--clients", type=int, default=24)
+    ycsb.add_argument("--duration", type=float, default=0.3)
+    ycsb.add_argument(
+        "--distribution", default="uniform", choices=["uniform", "zipfian"]
+    )
+    ycsb.set_defaults(func=cmd_ycsb)
+
+    tpcc = subparsers.add_parser("tpcc", help="run a TPC-C experiment")
+    _add_profile_argument(tpcc)
+    tpcc.add_argument("--warehouses", type=int, default=10)
+    tpcc.add_argument("--clients", type=int, default=10)
+    tpcc.add_argument("--duration", type=float, default=0.5)
+    tpcc.set_defaults(func=cmd_tpcc)
+
+    attacks = subparsers.add_parser(
+        "attacks", help="attack-detection demonstration"
+    )
+    attacks.set_defaults(func=cmd_attacks)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,245 @@
+"""Client access layer.
+
+"Clients communicate with the system through a mutually authenticated
+channel" (§IV-A) over a secondary 1 Gb/s NIC (§VIII-A).  A
+:class:`ClientMachine` models one workload-generator host; its
+:class:`ClientSession`\\ s speak Treaty's standard transactional API
+(``BEGINTXN`` / ``TXNGET`` / ``TXNPUT`` / ``TXNCOMMIT`` /
+``TXNROLLBACK``) against a chosen coordinator node.  The node-side
+:class:`FrontEnd` executes each operation through the coordinator's
+global transactions (or a local optimistic transaction when requested).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Any, Dict, Generator, Tuple
+
+from ..config import ClusterConfig, EnvProfile, Runtime
+from ..crypto.keys import KeyRing
+from ..errors import TransactionAborted
+from ..net.erpc import ErpcEndpoint
+from ..net.message import MsgType, TxMessage
+from ..net.secure_rpc import SecureRpc
+from ..net.simnet import Fabric
+from ..sim.core import Event, Simulator
+from ..storage.format import Reader, Writer
+from ..tee.runtime import NodeRuntime
+
+__all__ = ["ClientMachine", "ClientSession", "ClientTxn", "FrontEnd"]
+
+Gen = Generator[Event, Any, Any]
+
+_OP_GET = 1
+_OP_PUT = 2
+_OP_DELETE = 3
+_OP_COMMIT = 4
+_OP_ROLLBACK = 5
+_OP_SCAN = 6
+
+_FLAG_OPTIMISTIC = 1
+
+
+def _encode_op(kind: int, flags: int, key: bytes = b"", value: bytes = b"") -> bytes:
+    return Writer().u32(kind).u32(flags).blob(key).blob(value).getvalue()
+
+
+def _decode_op(body: bytes) -> Tuple[int, int, bytes, bytes]:
+    reader = Reader(body)
+    return reader.u32(), reader.u32(), reader.blob(), reader.blob()
+
+
+class FrontEnd:
+    """Node-side handler for client requests (runs inside the enclave)."""
+
+    def __init__(self, runtime: NodeRuntime, coordinator, manager, rpc: SecureRpc):
+        self.runtime = runtime
+        self.coordinator = coordinator
+        self.manager = manager
+        #: open transactions keyed by (client numeric id, client txn seq).
+        self.open_txns: Dict[Tuple[int, int], Any] = {}
+        self.requests = 0
+        rpc.register(MsgType.CLIENT_REQUEST, self._on_request)
+
+    def _txn_for(self, message: TxMessage, flags: int):
+        key = (message.node_id, message.txn_id)
+        txn = self.open_txns.get(key)
+        if txn is None:
+            if flags & _FLAG_OPTIMISTIC:
+                txn = self.manager.begin_optimistic()
+            else:
+                txn = self.coordinator.begin()
+            self.open_txns[key] = txn
+        return txn
+
+    def _on_request(self, message: TxMessage, src: str) -> Gen:
+        self.requests += 1
+        # Waking the (idle) per-client fiber costs a SCONE scheduler
+        # dispatch when the enclave is under storage-engine pressure.
+        if self.runtime.profile.in_enclave and self.runtime.heavy_enclave:
+            yield self.runtime.sim.timeout(
+                self.runtime.costs.scone_request_dispatch
+            )
+        self.runtime.active_requests += 1
+        try:
+            result = yield from self._handle(message)
+        finally:
+            self.runtime.active_requests -= 1
+        return result
+
+    def _handle(self, message: TxMessage) -> Gen:
+        kind, flags, key, value = _decode_op(message.body)
+        session = (message.node_id, message.txn_id)
+        txn = self._txn_for(message, flags)
+
+        def reply(msg_type: int, body: bytes = b"") -> TxMessage:
+            return TxMessage(
+                msg_type, message.node_id, message.txn_id, message.op_id, body
+            )
+
+        try:
+            if kind == _OP_GET:
+                result = yield from txn.get(key)
+                return reply(
+                    MsgType.CLIENT_REPLY,
+                    Writer().u32(1 if result is not None else 0)
+                    .blob(result or b"").getvalue(),
+                )
+            if kind == _OP_PUT:
+                yield from txn.put(key, value)
+                return reply(MsgType.CLIENT_REPLY)
+            if kind == _OP_DELETE:
+                yield from txn.delete(key)
+                return reply(MsgType.CLIENT_REPLY)
+            if kind == _OP_SCAN:
+                from .twopc import decode_scan_request, encode_scan_reply
+
+                start, end, limit = decode_scan_request(value)
+                rows = yield from txn.scan(start, end, limit)
+                return reply(MsgType.CLIENT_REPLY, encode_scan_reply(rows))
+            if kind == _OP_COMMIT:
+                self.open_txns.pop(session, None)
+                yield from txn.commit()
+                return reply(MsgType.CLIENT_REPLY)
+            if kind == _OP_ROLLBACK:
+                self.open_txns.pop(session, None)
+                yield from txn.rollback()
+                return reply(MsgType.CLIENT_REPLY)
+        except TransactionAborted as aborted:
+            self.open_txns.pop(session, None)
+            return reply(MsgType.FAIL, str(aborted).encode())
+        return reply(MsgType.FAIL, b"unknown operation")
+
+
+def client_profile(cluster_profile: EnvProfile) -> EnvProfile:
+    """Clients run natively but must match the cluster's wire encryption."""
+    return replace(
+        cluster_profile,
+        name="client(%s)" % cluster_profile.name,
+        runtime=Runtime.NATIVE,
+        stabilization=False,
+    )
+
+
+class ClientMachine:
+    """One workload-generator host on the client (1 GbE) network."""
+
+    _ids = itertools.count(1000)  # numeric ids disjoint from node ids
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        cluster_profile: EnvProfile,
+        config: ClusterConfig,
+        keyring: KeyRing,
+    ):
+        self.sim = sim
+        self.name = name
+        self.config = config
+        self.runtime = NodeRuntime(sim, client_profile(cluster_profile), config)
+        self.nic = fabric.attach(
+            name, config.costs.client_bandwidth, config.costs.client_propagation
+        )
+        self.endpoint = ErpcEndpoint(self.runtime, fabric, self.nic)
+        self.numeric_id = next(self._ids)
+        self.rpc = SecureRpc(self.runtime, self.endpoint, keyring, self.numeric_id)
+        self._session_seq = itertools.count(1)
+
+    def session(self, coordinator_address: str) -> "ClientSession":
+        """Open a session against one coordinator node."""
+        return ClientSession(
+            self, coordinator_address, next(ClientMachine._ids)
+        )
+
+
+class ClientSession:
+    """One client connection: issues transactions to its coordinator."""
+
+    def __init__(self, machine: ClientMachine, coordinator: str, client_id: int):
+        self.machine = machine
+        self.coordinator = coordinator
+        self.client_id = client_id
+        self._txn_seq = itertools.count(1)
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self, optimistic: bool = False) -> "ClientTxn":
+        """BEGINTXN (purely client-local until the first operation)."""
+        return ClientTxn(self, next(self._txn_seq), optimistic)
+
+
+class ClientTxn:
+    """Client-side handle of one transaction."""
+
+    def __init__(self, session: ClientSession, txn_seq: int, optimistic: bool):
+        self.session = session
+        self.txn_seq = txn_seq
+        self.flags = _FLAG_OPTIMISTIC if optimistic else 0
+        self._op_seq = itertools.count(1)
+
+    def _request(self, kind: int, key: bytes = b"", value: bytes = b"") -> Gen:
+        machine = self.session.machine
+        message = TxMessage(
+            MsgType.CLIENT_REQUEST,
+            self.session.client_id,
+            self.txn_seq,
+            next(self._op_seq),
+            _encode_op(kind, self.flags, key, value),
+        )
+        reply = yield from machine.rpc.call(self.session.coordinator, message)
+        if reply.msg_type == MsgType.FAIL:
+            self.session.aborted += 1
+            raise TransactionAborted(reply.body.decode() or "aborted")
+        return reply
+
+    def get(self, key: bytes) -> Gen:
+        reply = yield from self._request(_OP_GET, key)
+        reader = Reader(reply.body)
+        found = reader.u32()
+        value = reader.blob()
+        return value if found else None
+
+    def put(self, key: bytes, value: bytes) -> Gen:
+        yield from self._request(_OP_PUT, key, value)
+
+    def delete(self, key: bytes) -> Gen:
+        yield from self._request(_OP_DELETE, key)
+
+    def scan(self, start: bytes, end=None, limit=None) -> Gen:
+        """Range scan ``[start, end)``; returns ``[(key, value)]``."""
+        from .twopc import decode_scan_reply, encode_scan_request
+
+        reply = yield from self._request(
+            _OP_SCAN, value=encode_scan_request(start, end, limit)
+        )
+        return decode_scan_reply(reply.body)
+
+    def commit(self) -> Gen:
+        yield from self._request(_OP_COMMIT)
+        self.session.committed += 1
+
+    def rollback(self) -> Gen:
+        yield from self._request(_OP_ROLLBACK)

@@ -1,0 +1,430 @@
+"""A Treaty node: the full per-node stack of Figure 1.
+
+Assembles the trusted components (Tx layer, lock manager, Tx KV engine,
+counter enclave) inside the node's enclave runtime, and the untrusted
+components (disk, NICs) outside it.  Nodes can :meth:`crash` (volatile
+state lost, disk kept) and :meth:`recover` (local re-attestation via the
+LAS, log replay, freshness checks, prepared-transaction resolution).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..config import ClusterConfig, EnvProfile
+from ..errors import FreshnessError
+from ..net.erpc import ErpcEndpoint
+from ..net.message import MsgType, TxMessage
+from ..net.secure_rpc import SecureRpc
+from ..net.simnet import Fabric
+from ..sim.core import Event, Simulator
+from ..storage.disk import Disk
+from ..storage.engine import LSMEngine
+from ..storage.log import SecureLog
+from ..storage.manifest import ManifestEdit
+from ..tee.attestation import PlatformQuotingEnclave
+from ..tee.runtime import NodeRuntime
+from ..tee.sgx import SealingKey
+from ..txn.locks import LockMode
+from ..txn.manager import TransactionManager
+from ..txn.types import TxnStatus
+from .cas import (
+    ConfigurationService,
+    LocalAttestationService,
+    NodeCredentials,
+    TREATY_MEASUREMENT,
+)
+from .client import FrontEnd
+from .ids import GlobalTxnId
+from .stabilization import Stabilizer
+from .trusted_counter import CounterClient, CounterReplica
+from .twopc import ClogRecord, Coordinator, GlobalTxn, Participant
+
+__all__ = ["TreatyNode"]
+
+Gen = Generator[Event, Any, Any]
+
+_RESOLUTION_OP_BASE = 1 << 60
+
+
+class TreatyNode:
+    """One server of the cluster, with crash/recover lifecycle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        numeric_id: int,
+        profile: EnvProfile,
+        config: ClusterConfig,
+        platform_secret: bytes,
+        addresses: Dict[int, str],
+        partitioner: Callable[[bytes], int],
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.numeric_id = numeric_id
+        self.profile = profile
+        self.config = config
+        self.platform_secret = platform_secret
+        self.addresses = addresses
+        self.partitioner = partitioner
+        #: persistent state — survives crashes.
+        self.disk = Disk(name)
+        self.qe = PlatformQuotingEnclave(name, platform_secret)
+        self.las: Optional[LocalAttestationService] = None
+        self.boot_count = 0
+        self._clog_seq = 1
+        self.cluster_address = name
+        self.front_address = name + ".front"
+        self.is_up = False
+        self._resolution_ops = itertools.count(1)
+        # Volatile components (built at start/recover).
+        self.runtime: Optional[NodeRuntime] = None
+        self.engine: Optional[LSMEngine] = None
+        self.manager: Optional[TransactionManager] = None
+        self.coordinator: Optional[Coordinator] = None
+        self.participant: Optional[Participant] = None
+        self.frontend: Optional[FrontEnd] = None
+        self.counter_client: Optional[CounterClient] = None
+        self.stabilizer: Optional[Stabilizer] = None
+        self.clog: Optional[SecureLog] = None
+
+    # -- attestation ----------------------------------------------------------
+    def _attest(self, cas: ConfigurationService) -> Gen:
+        """LAS-signed quote, verified by the CAS (no IAS round trip)."""
+        if self.las is None:
+            raise RuntimeError("node %s has no deployed LAS" % self.name)
+        quote = yield from self.las.quote_local_enclave(
+            TREATY_MEASUREMENT, self.name.encode()
+        )
+        credentials = yield from cas.attest_instance(self.name, quote)
+        return credentials
+
+    # -- construction ------------------------------------------------------------
+    def _build(self, credentials: NodeCredentials) -> None:
+        self.boot_count += 1
+        self.runtime = NodeRuntime(self.sim, self.profile, self.config)
+        self.keyring = credentials.keyring()
+        cluster_nic = self.fabric.attach(
+            self.cluster_address,
+            self.config.costs.net_bandwidth,
+            self.config.costs.net_propagation,
+        )
+        front_nic = self.fabric.attach(
+            self.front_address,
+            self.config.costs.client_bandwidth,
+            self.config.costs.client_propagation,
+        )
+        self.cluster_endpoint = ErpcEndpoint(self.runtime, self.fabric, cluster_nic)
+        self.front_endpoint = ErpcEndpoint(self.runtime, self.fabric, front_nic)
+        self.cluster_rpc = SecureRpc(
+            self.runtime, self.cluster_endpoint, self.keyring, self.numeric_id
+        )
+        self.front_rpc = SecureRpc(
+            self.runtime, self.front_endpoint, self.keyring, self.numeric_id
+        )
+        sealing = SealingKey(self.platform_secret, TREATY_MEASUREMENT)
+        self.replica = CounterReplica(
+            self.runtime, self.cluster_rpc, self.disk, sealing, self.name
+        )
+        self.counter_client = CounterClient(
+            self.runtime,
+            self.cluster_rpc,
+            self.replica,
+            credentials.counter_peers,
+            self.config.counter_quorum,
+            self.numeric_id,
+            epoch=self.boot_count,
+        )
+        self.stabilizer = Stabilizer(self.runtime, self.counter_client)
+        if self.config.storage_engine == "null":
+            from ..storage.nullengine import NullStorageEngine
+
+            self.engine = NullStorageEngine(self.runtime, name=self.name)
+        else:
+            self.runtime.heavy_enclave = True
+            self.engine = LSMEngine(
+                self.runtime,
+                self.disk,
+                self.keyring,
+                self.config,
+                name=self.name,
+                stabilizer=self.stabilizer if self.profile.stabilization else None,
+            )
+        self.manager = TransactionManager(
+            self.runtime,
+            self.engine,
+            self.config,
+            stabilizer=self.stabilizer,
+            name=self.name,
+        )
+
+    def _wire_roles(self) -> None:
+        self.coordinator = Coordinator(
+            self.runtime,
+            self.manager,
+            self.cluster_rpc,
+            self.clog,
+            self.numeric_id,
+            self.addresses,
+            self.partitioner,
+            self.stabilizer,
+            epoch=self.boot_count,
+        )
+        self.participant = Participant(
+            self.runtime, self.manager, self.cluster_rpc, self.stabilizer
+        )
+        self.frontend = FrontEnd(
+            self.runtime, self.coordinator, self.manager, self.front_rpc
+        )
+
+    @property
+    def clog_path(self) -> str:
+        return "%s/clog-%06d.log" % (self.name, self._clog_seq)
+
+    def rotate_clog(self) -> Gen:
+        """Garbage-collect the coordinator log (§V-A / §VII-B).
+
+        "The Clog is deleted as long as there are no unstable entries
+        and does not contain any unfinished prepared transaction entry."
+        Unresolved protocol state (undecided prepares, commits whose
+        completion is unrecorded) is carried into the fresh Clog; the
+        old file is deleted once the MANIFEST edits recording the
+        rotation are stabilized.
+        """
+        if self.config.storage_engine == "null":
+            return
+        old_clog = self.clog
+        # Determine which 2PC state must survive into the new log.
+        entries = yield from old_clog.replay()
+        prepares: Dict[bytes, ClogRecord] = {}
+        undone_commits: Dict[bytes, ClogRecord] = {}
+        for _counter, payload in entries:
+            record = ClogRecord.decode(payload)
+            key = record.gid.encode()
+            if record.kind == ClogRecord.PREPARE:
+                prepares[key] = record
+            elif record.kind == ClogRecord.COMPLETE:
+                undone_commits.pop(key, None)
+            elif record.kind == ClogRecord.COMMIT:
+                prepares.pop(key, None)
+                undone_commits[key] = record
+            else:  # ABORT
+                prepares.pop(key, None)
+
+        self._clog_seq += 1
+        new_clog = SecureLog(
+            self.runtime, self.disk, self.clog_path, self.keyring,
+            log_name=self.clog_path,
+        )
+        for record in list(prepares.values()) + list(undone_commits.values()):
+            yield from new_clog.append(record.encode())
+        yield from self.engine.manifest.record(
+            ManifestEdit.new_log("clog", new_clog.filename)
+        )
+        counter = yield from self.engine.manifest.record(
+            ManifestEdit.del_log("clog", old_clog.filename)
+        )
+        self.clog = new_clog
+        if self.coordinator is not None:
+            self.coordinator.clog = new_clog
+
+        old_filename = old_clog.filename
+
+        def gc():
+            if self.stabilizer is not None and self.stabilizer.enabled:
+                yield from self.stabilizer(
+                    self.engine.manifest_log_name, counter
+                )
+                yield from self.stabilizer(
+                    new_clog.log_name, new_clog.last_counter
+                )
+            else:
+                yield self.sim.timeout(0.05)
+            self.disk.delete(old_filename)
+
+        self.sim.process(gc(), name="clog-gc@%s" % self.name)
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self, cas: ConfigurationService) -> Gen:
+        """First boot: attest, initialize an empty engine, wire the roles."""
+        credentials = yield from self._attest(cas)
+        self._build(credentials)
+        if self.config.storage_engine == "null":
+            from ..storage.nullengine import NullLog
+
+            self.clog = NullLog(self.runtime, self.clog_path)
+        else:
+            yield from self.engine.bootstrap()
+            self.clog = SecureLog(
+                self.runtime, self.disk, self.clog_path, self.keyring,
+                log_name=self.clog_path,
+            )
+            yield from self.engine.manifest.record(
+                ManifestEdit.new_log("clog", self.clog_path)
+            )
+        self._wire_roles()
+        self.is_up = True
+
+    def crash(self) -> None:
+        """Fail-stop: lose everything volatile, keep the disk (§III)."""
+        self.fabric.detach(self.cluster_address)
+        self.fabric.detach(self.front_address)
+        self.is_up = False
+
+    # -- recovery (§VI) ----------------------------------------------------------------
+    def recover(self, cas: ConfigurationService) -> Gen:
+        """Rebuild from the untrusted disk, verifying integrity+freshness."""
+        if self.is_up:
+            # Recovery implies a restart: tear down volatile state first.
+            self.crash()
+        credentials = yield from self._attest(cas)
+        self._build(credentials)
+
+        resolver = None
+        if self.profile.stabilization:
+            def resolver(log_name: str) -> Gen:
+                value = yield from self.counter_client.read_stable(log_name)
+                return value
+
+        state, prepared_ids = yield from self.engine.recover(resolver)
+
+        # Clog: replay the 2PC state (§VI "Lastly, Clog is replayed").
+        clog_path = state.live_clogs[-1] if state.live_clogs else self.clog_path
+        stem = clog_path.rsplit("/", 1)[1]
+        if stem.startswith("clog-"):
+            self._clog_seq = max(self._clog_seq, int(stem[5:11]))
+        self.clog = SecureLog(
+            self.runtime, self.disk, clog_path, self.keyring, log_name=clog_path
+        )
+        # Clog: like the MANIFEST, the full authenticated chain is
+        # replayed (an unstable suffix can only contain undecided or
+        # unacknowledged protocol state, which recovery handles the same
+        # either way); freshness is still enforced against the counter.
+        if resolver is not None:
+            clog_stable = yield from resolver(clog_path)
+            if self.clog.on_disk_max_counter() < clog_stable:
+                raise FreshnessError(
+                    "Clog rolled back: %d on disk, %d stable"
+                    % (self.clog.on_disk_max_counter(), clog_stable)
+                )
+        clog_entries = yield from self.clog.replay()
+        self.clog.reset_from_replay(clog_entries)
+        self._wire_roles()
+
+        # Rebuild coordinator decisions; find unresolved prepares and
+        # commits whose completion was never recorded.
+        seen_prepares: Dict[bytes, ClogRecord] = {}
+        incomplete_commits: Dict[bytes, ClogRecord] = {}
+        for _counter, payload in clog_entries:
+            record = ClogRecord.decode(payload)
+            key = record.gid.encode()
+            if record.kind == ClogRecord.PREPARE:
+                seen_prepares[key] = record
+            elif record.kind == ClogRecord.COMPLETE:
+                incomplete_commits.pop(key, None)
+            else:
+                self.coordinator.decisions[key] = record.kind
+                seen_prepares.pop(key, None)
+                if record.kind == ClogRecord.COMMIT:
+                    incomplete_commits[key] = record
+
+        # Re-adopt prepared participant-local transactions (§VI: "each
+        # node will re-initialize all prepared Txs that are not yet
+        # committed") and resolve them with their coordinators.
+        for txn_id in prepared_ids:
+            writes = self.engine.prepared_txns[txn_id]
+            txn = yield from self._adopt_prepared(txn_id, writes)
+            self.sim.process(
+                self._resolve_prepared(txn_id, txn),
+                name="resolve@%s" % self.name,
+            )
+
+        # Coordinator half: undecided transactions are presumed aborted
+        # (their decision was never stable, so no client saw success);
+        # decided-commit transactions are re-driven so participants that
+        # crashed mid-commit converge ("if a node has already committed
+        # the Tx, this message is ignored").
+        for key, record in seen_prepares.items():
+            self.sim.process(
+                self._abort_undecided(record), name="re-abort@%s" % self.name
+            )
+        for key, record in incomplete_commits.items():
+            self.sim.process(
+                self._redrive_commit(record), name="re-commit@%s" % self.name
+            )
+        self.is_up = True
+        return state
+
+    # -- recovery helpers ---------------------------------------------------------
+    def _adopt_prepared(self, txn_id: bytes, writes) -> Gen:
+        txn = self.manager.begin_pessimistic(txn_id=txn_id)
+        for key, value, _seq in writes:
+            yield from self.manager.locks.acquire(
+                txn_id, key, LockMode.EXCLUSIVE, timeout=10.0
+            )
+            txn.buffer.record(key, value)
+        txn.status = TxnStatus.PREPARED
+        self.participant.active[txn_id] = txn
+        return txn
+
+    def _resolution_message(self, msg_type: int, gid: GlobalTxnId) -> TxMessage:
+        op_id = (
+            _RESOLUTION_OP_BASE
+            | (self.boot_count << 40)
+            | next(self._resolution_ops)
+        )
+        return TxMessage(msg_type, gid.node_id, gid.local_seq, op_id)
+
+    def _resolve_prepared(self, txn_id: bytes, txn) -> Gen:
+        """Ask the coordinator how a recovered prepared txn was decided."""
+        gid = GlobalTxnId.decode(txn_id)
+        if gid.node_id == self.numeric_id:
+            decision = self.coordinator.decisions.get(txn_id, ClogRecord.ABORT)
+            commit = decision == ClogRecord.COMMIT
+        else:
+            reply = yield from self.cluster_rpc.call(
+                self.addresses[gid.node_id],
+                self._resolution_message(MsgType.TXN_RESOLVE, gid),
+            )
+            commit = reply.body == b"commit"
+        self.participant.active.pop(txn_id, None)
+        if commit:
+            yield from txn.commit_prepared_async()
+        else:
+            yield from txn.abort_prepared()
+
+    def _abort_undecided(self, record: ClogRecord) -> Gen:
+        counter = yield from self.coordinator.log_clog(
+            ClogRecord(ClogRecord.ABORT, record.gid, record.participants)
+        )
+        self.stabilizer.background(self.clog.log_name, counter)
+        yield from self._broadcast_resolution(MsgType.TXN_ABORT, record)
+
+    def _redrive_commit(self, record: ClogRecord) -> Gen:
+        """Re-instruct participants of a decided-commit transaction.
+
+        Participants that already committed ignore the message; ones
+        that recovered with the transaction still prepared commit it.
+        """
+        yield from self._broadcast_resolution(MsgType.TXN_COMMIT, record)
+
+    def _broadcast_resolution(self, msg_type: int, record: ClogRecord) -> Gen:
+        events = []
+        for node in record.participants:
+            if node == self.numeric_id:
+                continue
+            address = self.addresses.get(node)
+            if address is None:
+                continue
+            events.append(
+                self.cluster_rpc.enqueue(
+                    address, self._resolution_message(msg_type, record.gid)
+                )
+            )
+        if events:
+            yield self.sim.all_of(events)

@@ -1,0 +1,61 @@
+"""Stabilization protocol glue (§VI).
+
+The stabilization protocol has three legs — collective attestation
+(:mod:`repro.core.cas`), crash-consistent logs
+(:mod:`repro.storage.log`), and distributed rollback protection
+(:mod:`repro.core.trusted_counter`).  This module provides the
+:class:`Stabilizer` callable those layers share: it is what the engine,
+transaction manager and 2PC roles invoke to make a log entry
+rollback-protected, and it centralizes the profile gate and statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..sim.core import Event
+from ..tee.runtime import NodeRuntime
+from .trusted_counter import CounterClient
+
+__all__ = ["Stabilizer"]
+
+Gen = Generator[Event, Any, Any]
+
+
+class Stabilizer:
+    """Makes ``(log, counter)`` pairs rollback-protected via the counter
+    service; a no-op under profiles without stabilization."""
+
+    def __init__(self, runtime: NodeRuntime, counter_client: Optional[CounterClient]):
+        self.runtime = runtime
+        self.counter_client = counter_client
+        self.waits = 0
+        self.total_wait_time = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.runtime.profile.stabilization and self.counter_client is not None
+        )
+
+    def __call__(self, log_name: str, counter: int) -> Gen:
+        """Block until the entry is stable (Figure 2, steps 5–8)."""
+        if not self.enabled or counter <= 0:
+            return
+        start = self.runtime.now
+        yield from self.counter_client.stabilize(log_name, counter)
+        self.waits += 1
+        self.total_wait_time += self.runtime.now - start
+
+    def background(self, log_name: str, counter: int) -> None:
+        """Fire-and-forget stabilization (commit records, GC edits)."""
+        if not self.enabled or counter <= 0:
+            return
+        self.runtime.sim.process(
+            self(log_name, counter), name="stabilize-bg/%s" % log_name
+        )
+
+    def mean_wait(self) -> float:
+        if self.waits == 0:
+            return 0.0
+        return self.total_wait_time / self.waits

@@ -1,0 +1,634 @@
+"""Treaty's secure two-phase commit protocol (§V, Figure 2).
+
+A client-selected *coordinator* drives each distributed transaction:
+
+1. interactive execution — ``TXNGET``/``TXNPUT`` requests are routed to
+   the participant owning the key's shard (or served locally), each as a
+   sealed :class:`~repro.net.message.TxMessage` carrying the unique
+   ``(node, txn, op)`` triple so it can never be double-executed;
+2. prepare — the coordinator logs the transaction to its Clog, then all
+   participants persist prepare records and *delay their ACK until the
+   prepare entry is stabilized* (rollback-protected);
+3. decision — the coordinator logs the commit/abort decision to the Clog
+   and stabilizes it before instructing participants;
+4. commit — participants apply through group commit; nobody waits for
+   the *commit* record's stabilization ("even if the system crashes,
+   this Tx can be committed in the exact same order").
+
+Transactions touching only the coordinator's shard take the single-node
+fast path (§V-B) — no Clog, no 2PC rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from ..errors import (
+    TransactionAborted,
+    TransactionError,
+)
+from ..net.message import MsgType, TxMessage
+from ..net.secure_rpc import SecureRpc
+from ..sim.core import Event
+from ..storage.format import Reader, Writer
+from ..storage.log import SecureLog
+from ..tee.runtime import NodeRuntime
+from ..txn.manager import TransactionManager
+from ..txn.pessimistic import PessimisticTxn
+from ..txn.types import TxnStatus
+from .ids import GlobalTxnId, TxnIdAllocator
+
+__all__ = ["ClogRecord", "Participant", "Coordinator", "GlobalTxn"]
+
+Gen = Generator[Event, Any, Any]
+
+#: a participant that has not voted within this window counts as NO.
+PREPARE_VOTE_TIMEOUT = 2.0
+#: decision (commit/abort) instructions are retried at this interval
+#: until every participant acknowledges.
+RESOLUTION_RETRY_INTERVAL = 0.5
+
+# key -> numeric node id owning its shard
+Partitioner = Callable[[bytes], int]
+# (log_name, counter) -> generator that waits for stabilization
+Stabilize = Callable[[str, int], Generator[Event, Any, None]]
+
+
+def _encode_read(key: bytes) -> bytes:
+    return Writer().blob(key).getvalue()
+
+
+def _encode_write(key: bytes, value: Optional[bytes]) -> bytes:
+    return (
+        Writer().blob(key).u32(1 if value is None else 0).blob(value or b"").getvalue()
+    )
+
+
+def _decode_write(body: bytes) -> Tuple[bytes, Optional[bytes]]:
+    reader = Reader(body)
+    key = reader.blob()
+    tombstone = reader.u32()
+    value = reader.blob()
+    return key, None if tombstone else value
+
+
+def _encode_value_reply(found: bool, value: Optional[bytes]) -> bytes:
+    return Writer().u32(1 if found else 0).blob(value or b"").getvalue()
+
+
+def encode_scan_request(start: bytes, end: Optional[bytes], limit: Optional[int]) -> bytes:
+    return (
+        Writer()
+        .blob(start)
+        .u32(1 if end is not None else 0)
+        .blob(end or b"")
+        .u32(0xFFFFFFFF if limit is None else limit)
+        .getvalue()
+    )
+
+
+def decode_scan_request(body: bytes):
+    reader = Reader(body)
+    start = reader.blob()
+    has_end = reader.u32()
+    end = reader.blob()
+    limit = reader.u32()
+    return start, (end if has_end else None), (None if limit == 0xFFFFFFFF else limit)
+
+
+def encode_scan_reply(rows) -> bytes:
+    writer = Writer().u32(len(rows))
+    for key, value in rows:
+        writer.blob(key).blob(value)
+    return writer.getvalue()
+
+
+def decode_scan_reply(body: bytes):
+    reader = Reader(body)
+    count = reader.u32()
+    rows = []
+    for _ in range(count):
+        key = reader.blob()
+        value = reader.blob()
+        rows.append((key, value))
+    return rows
+
+
+def _decode_value_reply(body: bytes) -> Optional[bytes]:
+    reader = Reader(body)
+    found = reader.u32()
+    value = reader.blob()
+    return value if found else None
+
+
+class ClogRecord:
+    """One coordinator-log entry: the 2PC protocol state (§V-A)."""
+
+    PREPARE = 1
+    COMMIT = 2
+    ABORT = 3
+    #: all participants acknowledged the commit: recovery need not
+    #: re-drive this transaction.
+    COMPLETE = 4
+
+    def __init__(self, kind: int, gid: GlobalTxnId, participants: List[int]):
+        self.kind = kind
+        self.gid = gid
+        self.participants = participants
+
+    def encode(self) -> bytes:
+        writer = Writer().u32(self.kind).blob(self.gid.encode())
+        writer.u32(len(self.participants))
+        for node in self.participants:
+            writer.u64(node)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ClogRecord":
+        reader = Reader(data)
+        kind = reader.u32()
+        gid = GlobalTxnId.decode(reader.blob())
+        count = reader.u32()
+        participants = [reader.u64() for _ in range(count)]
+        return cls(kind, gid, participants)
+
+
+class Participant:
+    """The participant role: executes remote operations for coordinators."""
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        manager: TransactionManager,
+        rpc: SecureRpc,
+        stabilize: Stabilize,
+    ):
+        self.runtime = runtime
+        self.manager = manager
+        self.rpc = rpc
+        self.stabilize = stabilize
+        #: participant-local halves of distributed transactions.
+        self.active: Dict[bytes, PessimisticTxn] = {}
+        self.prepares_served = 0
+        self.commits_served = 0
+        rpc.register(MsgType.TXN_READ, self._on_read)
+        rpc.register(MsgType.TXN_WRITE, self._on_write)
+        rpc.register(MsgType.TXN_SCAN, self._on_scan)
+        rpc.register(MsgType.TXN_PREPARE, self._on_prepare)
+        rpc.register(MsgType.TXN_COMMIT, self._on_commit)
+        rpc.register(MsgType.TXN_ABORT, self._on_abort)
+
+    # -- helpers ------------------------------------------------------------
+    def _txn_for(self, message: TxMessage) -> PessimisticTxn:
+        gid = GlobalTxnId(message.node_id, message.txn_id)
+        key = gid.encode()
+        txn = self.active.get(key)
+        if txn is None:
+            txn = self.manager.begin_pessimistic(txn_id=key)
+            self.active[key] = txn
+        return txn
+
+    @staticmethod
+    def _ack(message: TxMessage, body: bytes = b"") -> TxMessage:
+        return TxMessage(
+            MsgType.ACK, message.node_id, message.txn_id, message.op_id, body
+        )
+
+    @staticmethod
+    def _fail(message: TxMessage, reason: bytes = b"") -> TxMessage:
+        return TxMessage(
+            MsgType.FAIL, message.node_id, message.txn_id, message.op_id, reason
+        )
+
+    def _drop(self, message: TxMessage) -> None:
+        self.active.pop(GlobalTxnId(message.node_id, message.txn_id).encode(), None)
+
+    # -- handlers (ExecuteTxnReqHandler in Figure 2) -----------------------------
+    def _on_read(self, message: TxMessage, src: str) -> Gen:
+        txn = self._txn_for(message)
+        reader = Reader(message.body)
+        key = reader.blob()
+        try:
+            value = yield from txn.get(key)
+        except TransactionAborted as aborted:
+            self._drop(message)
+            return self._fail(message, str(aborted).encode())
+        return self._ack(message, _encode_value_reply(value is not None, value))
+
+    def _on_scan(self, message: TxMessage, src: str) -> Gen:
+        txn = self._txn_for(message)
+        start, end, limit = decode_scan_request(message.body)
+        try:
+            rows = yield from txn.scan(start, end, limit)
+        except TransactionAborted as aborted:
+            self._drop(message)
+            return self._fail(message, str(aborted).encode())
+        return self._ack(message, encode_scan_reply(rows))
+
+    def _on_write(self, message: TxMessage, src: str) -> Gen:
+        txn = self._txn_for(message)
+        key, value = _decode_write(message.body)
+        try:
+            if value is None:
+                yield from txn.delete(key)
+            else:
+                yield from txn.put(key, value)
+        except TransactionAborted as aborted:
+            self._drop(message)
+            return self._fail(message, str(aborted).encode())
+        return self._ack(message)
+
+    def _on_prepare(self, message: TxMessage, src: str) -> Gen:
+        """Prepare the local transaction; ACK only once stabilized (§V-A)."""
+        gid = GlobalTxnId(message.node_id, message.txn_id)
+        txn = self.active.get(gid.encode())
+        if txn is None or txn.status != TxnStatus.ACTIVE:
+            return self._fail(message, b"no active local txn")
+        try:
+            counter, log_name = yield from txn.prepare()
+        except TransactionAborted as aborted:
+            self._drop(message)
+            return self._fail(message, str(aborted).encode())
+        self.prepares_served += 1
+        if self.runtime.profile.stabilization:
+            # "Participants delay replying back to the coordinator until
+            # the prepare entry in the log is stabilized."
+            yield from self.stabilize(log_name, counter)
+        return self._ack(message)
+
+    def _on_commit(self, message: TxMessage, src: str) -> Gen:
+        gid = GlobalTxnId(message.node_id, message.txn_id)
+        txn = self.active.pop(gid.encode(), None)
+        if txn is None:
+            # Already committed (e.g. duplicate instruction after the
+            # coordinator recovered): "this message is ignored" (§VI).
+            return self._ack(message)
+        yield from txn.commit_prepared_async()
+        self.commits_served += 1
+        return self._ack(message)
+
+    def _on_abort(self, message: TxMessage, src: str) -> Gen:
+        gid = GlobalTxnId(message.node_id, message.txn_id)
+        txn = self.active.pop(gid.encode(), None)
+        if txn is not None:
+            if txn.status == TxnStatus.PREPARED:
+                yield from txn.abort_prepared()
+            else:
+                yield from txn.rollback()
+        return self._ack(message)
+
+
+class Coordinator:
+    """The coordinator role: drives global transactions over secure 2PC."""
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        manager: TransactionManager,
+        rpc: SecureRpc,
+        clog: SecureLog,
+        node_numeric_id: int,
+        addresses: Dict[int, str],
+        partitioner: Partitioner,
+        stabilize: Stabilize,
+        epoch: int = 0,
+    ):
+        self.runtime = runtime
+        self.manager = manager
+        self.rpc = rpc
+        self.clog = clog
+        self.node_numeric_id = node_numeric_id
+        self.addresses = addresses  # numeric node id -> cluster address
+        self.partitioner = partitioner
+        self.stabilize = stabilize
+        self.allocator = TxnIdAllocator(node_numeric_id, epoch)
+        #: decisions recorded in the Clog (commit/abort) by transaction.
+        self.decisions: Dict[bytes, int] = {}
+        self.distributed_commits = 0
+        self.local_commits = 0
+        self.aborts = 0
+        rpc.register(MsgType.TXN_RESOLVE, self._on_resolve)
+
+    def begin(self) -> "GlobalTxn":
+        """BEGINTXN: create a global transaction handle."""
+        return GlobalTxn(self, self.allocator.next())
+
+    # -- Clog ---------------------------------------------------------------------
+    def log_clog(self, record: ClogRecord) -> Gen:
+        counter = yield from self.clog.append(record.encode())
+        if record.kind in (ClogRecord.COMMIT, ClogRecord.ABORT):
+            self.decisions[record.gid.encode()] = record.kind
+        return counter
+
+    # -- recovery support ------------------------------------------------------------
+    def _on_resolve(self, message: TxMessage, src: str) -> Gen:
+        """A recovering participant asks how ``gid`` was decided.
+
+        Presumed abort: with no logged commit decision the transaction
+        cannot have been acknowledged, so ABORT is always safe.
+        """
+        yield from self.runtime.op_overhead()
+        gid_bytes = GlobalTxnId(message.node_id, message.txn_id).encode()
+        decision = self.decisions.get(gid_bytes, ClogRecord.ABORT)
+        verdict = b"commit" if decision == ClogRecord.COMMIT else b"abort"
+        return TxMessage(
+            MsgType.TXN_RESOLVE_REPLY,
+            message.node_id,
+            message.txn_id,
+            message.op_id,
+            verdict,
+        )
+
+
+class GlobalTxn:
+    """A client-facing distributed transaction (Figure 2's lifecycle)."""
+
+    def __init__(self, coordinator: Coordinator, gid: GlobalTxnId):
+        self.coordinator = coordinator
+        self.runtime = coordinator.runtime
+        self.gid = gid
+        self._op_seq = 0
+        self._local_txn: Optional[PessimisticTxn] = None
+        #: numeric node ids of remote participants touched so far.
+        self.remote_participants: Set[int] = set()
+        self.status = TxnStatus.ACTIVE
+
+    # -- helpers -----------------------------------------------------------------
+    def _next_op(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
+
+    def _message(self, msg_type: int, body: bytes = b"") -> TxMessage:
+        return TxMessage(
+            msg_type,
+            self.gid.node_id,
+            self.gid.local_seq,
+            self._next_op(),
+            body,
+        )
+
+    def _local(self) -> PessimisticTxn:
+        if self._local_txn is None:
+            self._local_txn = self.coordinator.manager.begin_pessimistic(
+                txn_id=self.gid.encode()
+            )
+        return self._local_txn
+
+    def _address_of(self, node: int) -> str:
+        return self.coordinator.addresses[node]
+
+    def _check_active(self) -> None:
+        if self.status != TxnStatus.ACTIVE:
+            raise TransactionError("global txn %s is %s" % (self.gid, self.status))
+
+    def _remote_call(self, node: int, message: TxMessage) -> Gen:
+        self.remote_participants.add(node)
+        reply = yield from self.coordinator.rpc.call(
+            self._address_of(node), message
+        )
+        return reply
+
+    # -- interactive operations (TXNGET / TXNPUT) ----------------------------------
+    def get(self, key: bytes) -> Gen:
+        self._check_active()
+        owner = self.coordinator.partitioner(key)
+        if owner == self.coordinator.node_numeric_id:
+            try:
+                value = yield from self._local().get(key)
+            except TransactionAborted:
+                yield from self._abort_remotes()
+                self.status = TxnStatus.ABORTED
+                raise
+            return value
+        reply = yield from self._remote_call(
+            owner, self._message(MsgType.TXN_READ, _encode_read(key))
+        )
+        if reply.msg_type != MsgType.ACK:
+            yield from self.rollback(failed_node=owner)
+            raise TransactionAborted(reply.body.decode() or "remote read failed")
+        return _decode_value_reply(reply.body)
+
+    def put(self, key: bytes, value: bytes) -> Gen:
+        yield from self._write(key, value)
+
+    def delete(self, key: bytes) -> Gen:
+        yield from self._write(key, None)
+
+    def scan(self, start: bytes, end: Optional[bytes], limit=None) -> Gen:
+        """Range scan within one shard (``start`` determines the owner).
+
+        TPC-C's scans are all warehouse-local, so a scan never spans
+        shards; a cross-shard range raises.
+        """
+        self._check_active()
+        owner = self.coordinator.partitioner(start)
+        if owner == self.coordinator.node_numeric_id:
+            try:
+                rows = yield from self._local().scan(start, end, limit)
+            except TransactionAborted:
+                yield from self._abort_remotes()
+                self.status = TxnStatus.ABORTED
+                raise
+            return rows
+        reply = yield from self._remote_call(
+            owner,
+            self._message(MsgType.TXN_SCAN, encode_scan_request(start, end, limit)),
+        )
+        if reply.msg_type != MsgType.ACK:
+            yield from self.rollback(failed_node=owner)
+            raise TransactionAborted(reply.body.decode() or "remote scan failed")
+        return decode_scan_reply(reply.body)
+
+    def _write(self, key: bytes, value: Optional[bytes]) -> Gen:
+        self._check_active()
+        owner = self.coordinator.partitioner(key)
+        if owner == self.coordinator.node_numeric_id:
+            try:
+                if value is None:
+                    yield from self._local().delete(key)
+                else:
+                    yield from self._local().put(key, value)
+            except TransactionAborted:
+                yield from self._abort_remotes()
+                self.status = TxnStatus.ABORTED
+                raise
+            return
+        reply = yield from self._remote_call(
+            owner, self._message(MsgType.TXN_WRITE, _encode_write(key, value))
+        )
+        if reply.msg_type != MsgType.ACK:
+            yield from self.rollback(failed_node=owner)
+            raise TransactionAborted(reply.body.decode() or "remote write failed")
+
+    # -- batched multi-put (coordinators may defer transmissions, §V-A) -------------
+    def put_many(self, pairs: List[Tuple[bytes, bytes]]) -> Gen:
+        """Enqueue writes to all owners before yielding (Figure 2, 1–2)."""
+        self._check_active()
+        events = []
+        for key, value in pairs:
+            owner = self.coordinator.partitioner(key)
+            if owner == self.coordinator.node_numeric_id:
+                try:
+                    yield from self._local().put(key, value)
+                except TransactionAborted:
+                    yield from self._abort_remotes()
+                    self.status = TxnStatus.ABORTED
+                    raise
+            else:
+                self.remote_participants.add(owner)
+                events.append(
+                    self.coordinator.rpc.enqueue(
+                        self._address_of(owner),
+                        self._message(MsgType.TXN_WRITE, _encode_write(key, value)),
+                    )
+                )
+        replies = yield self.runtime.sim.all_of(events)
+        for reply in replies:
+            if reply.msg_type != MsgType.ACK:
+                yield from self.rollback()
+                raise TransactionAborted(reply.body.decode() or "remote write failed")
+
+    # -- commit / abort ---------------------------------------------------------------
+    def commit(self) -> Gen:
+        """TXNCOMMIT: single-node fast path or full secure 2PC."""
+        self._check_active()
+        if not self.remote_participants:
+            # Single-node transaction (§V-B): no 2PC needed.
+            counter = 0
+            if self._local_txn is not None:
+                counter = yield from self._local_txn.commit()
+            self.status = TxnStatus.COMMITTED
+            self.coordinator.local_commits += 1
+            return counter
+        yield from self._commit_distributed()
+        return 0
+
+    def _commit_distributed(self) -> Gen:
+        coordinator = self.coordinator
+        participants = sorted(self.remote_participants)
+        record_participants = participants + (
+            [coordinator.node_numeric_id] if self._local_txn is not None else []
+        )
+        # 5: log the prepare intent to the Clog with its trusted counter.
+        prepare_counter = yield from coordinator.log_clog(
+            ClogRecord(ClogRecord.PREPARE, self.gid, record_participants)
+        )
+        # Prepare everyone (remote prepares batched; local in parallel).
+        # A participant that does not answer within the vote timeout is
+        # counted as a NO vote — a crashed participant must not block
+        # the decision (it learns the abort when it recovers).
+        events = [
+            coordinator.rpc.enqueue(
+                self._address_of(node), self._message(MsgType.TXN_PREPARE)
+            )
+            for node in participants
+        ]
+        if self._local_txn is not None:
+            events.append(
+                self.runtime.sim.process(
+                    self._prepare_local(), name="local-prepare"
+                )
+            )
+        yield self.runtime.sim.any_of(
+            [
+                self.runtime.sim.all_of(events),
+                self.runtime.sim.timeout(PREPARE_VOTE_TIMEOUT),
+            ]
+        )
+        vote_commit = all(
+            event.triggered
+            and event.ok
+            and (
+                event.value is True
+                or getattr(event.value, "msg_type", None) == MsgType.ACK
+            )
+            for event in events
+        )
+        # 6-7: log + stabilize the decision before acting on it.
+        decision_kind = ClogRecord.COMMIT if vote_commit else ClogRecord.ABORT
+        decision_counter = yield from coordinator.log_clog(
+            ClogRecord(decision_kind, self.gid, record_participants)
+        )
+        if self.runtime.profile.stabilization:
+            yield from coordinator.stabilize(
+                coordinator.clog.log_name, decision_counter
+            )
+        if not vote_commit:
+            yield from self._broadcast_resolution(MsgType.TXN_ABORT, participants)
+            if self._local_txn is not None:
+                if self._local_txn.status == TxnStatus.PREPARED:
+                    yield from self._local_txn.abort_prepared()
+                else:
+                    yield from self._local_txn.rollback()
+            self.status = TxnStatus.ABORTED
+            coordinator.aborts += 1
+            raise TransactionAborted("a participant failed to prepare")
+        # Commit phase: no stabilization wait needed before replying.
+        yield from self._broadcast_resolution(MsgType.TXN_COMMIT, participants)
+        if self._local_txn is not None:
+            yield from self._local_txn.commit_prepared_async()
+        self.status = TxnStatus.COMMITTED
+        coordinator.distributed_commits += 1
+
+        # Off the critical path: record that every participant committed,
+        # so recovery does not re-drive this transaction.
+        def log_complete() -> Gen:
+            counter = yield from coordinator.log_clog(
+                ClogRecord(ClogRecord.COMPLETE, self.gid, record_participants)
+            )
+            if self.runtime.profile.stabilization:
+                yield from coordinator.stabilize(
+                    coordinator.clog.log_name, counter
+                )
+
+        self.runtime.sim.process(log_complete(), name="clog-complete")
+
+    def _prepare_local(self) -> Gen:
+        try:
+            counter, log_name = yield from self._local().prepare()
+        except TransactionAborted:
+            return False
+        if self.runtime.profile.stabilization:
+            yield from self.coordinator.stabilize(log_name, counter)
+        return True
+
+    def _broadcast_resolution(self, msg_type: int, participants: List[int]) -> Gen:
+        """Deliver the decision to every participant, retrying forever.
+
+        The decision is already durable in the Clog, so retrying is
+        always safe: a participant that already acted replies ACK and
+        ignores the duplicate instruction (each retry carries a fresh
+        operation id, so the at-most-once filter does not eat it).
+        """
+        pending = set(participants)
+        while pending:
+            events = {
+                node: self.coordinator.rpc.enqueue(
+                    self._address_of(node), self._message(msg_type)
+                )
+                for node in sorted(pending)
+            }
+            yield self.runtime.sim.any_of(
+                [
+                    self.runtime.sim.all_of(list(events.values())),
+                    self.runtime.sim.timeout(RESOLUTION_RETRY_INTERVAL),
+                ]
+            )
+            for node, event in events.items():
+                if event.triggered and event.ok:
+                    pending.discard(node)
+
+    def rollback(self, failed_node: Optional[int] = None) -> Gen:
+        """TXNROLLBACK: abort everywhere (presumed abort, nothing logged)."""
+        if self.status != TxnStatus.ACTIVE:
+            return
+        self.status = TxnStatus.ABORTED
+        self.coordinator.aborts += 1
+        yield from self._abort_remotes(skip=failed_node)
+        if self._local_txn is not None:
+            yield from self._local_txn.rollback()
+
+    def _abort_remotes(self, skip: Optional[int] = None) -> Gen:
+        participants = [n for n in sorted(self.remote_participants) if n != skip]
+        if participants:
+            yield from self._broadcast_resolution(MsgType.TXN_ABORT, participants)

@@ -1,0 +1,99 @@
+"""Authenticated encryption with associated data (AEAD).
+
+The paper encrypts messages, log entries, SSTable blocks and host-memory
+values with AES-GCM (via OpenSSL) using a 12-byte IV and a 16-byte MAC
+(§VII-A).  Hardware AES is not available here, so we build a *real* AEAD
+from stdlib primitives — an HMAC-SHA256 keystream in counter mode plus an
+encrypt-then-MAC tag — with exactly the paper's wire sizes.  Security
+properties relevant to the reproduction hold functionally: ciphertext
+reveals nothing without the key, and any bit flip in IV, ciphertext or
+associated data fails authentication.
+
+This module is pure computation; the *time* cost of sealing/opening is
+charged by callers through :meth:`repro.config.CostModel.aead_cost`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import struct
+from hashlib import sha256
+from ..errors import IntegrityError
+
+__all__ = ["IV_BYTES", "MAC_BYTES", "KEY_BYTES", "Aead", "xor_bytes"]
+
+IV_BYTES = 12  # §VII-A: 12 B initialization vector
+MAC_BYTES = 16  # §VII-A: 16 B MAC
+KEY_BYTES = 32
+
+_BLOCK = 32  # keystream block = one SHA-256 digest
+
+
+def xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    """XOR ``data`` with a keystream of at least the same length."""
+    length = len(data)
+    if length == 0:
+        return b""
+    left = int.from_bytes(data, "little")
+    right = int.from_bytes(keystream[:length], "little")
+    return (left ^ right).to_bytes(length, "little")
+
+
+class Aead:
+    """An AEAD cipher bound to one 32-byte key.
+
+    Layout produced by :meth:`seal`: ``IV (12 B) || ciphertext || MAC (16 B)``
+    — the same on-the-wire framing as Treaty's secure message format.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_BYTES:
+            raise ValueError("AEAD key must be %d bytes" % KEY_BYTES)
+        # Independent subkeys for the keystream and the MAC, derived the
+        # usual KDF way so a single 32-byte master key is enough.
+        self._enc_key = hmac.new(key, b"treaty-enc", sha256).digest()
+        self._mac_key = hmac.new(key, b"treaty-mac", sha256).digest()
+
+    # -- internals -----------------------------------------------------------
+    def _keystream(self, iv: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + _BLOCK - 1) // _BLOCK):
+            blocks.append(
+                hmac.new(
+                    self._enc_key, iv + struct.pack("<I", counter), sha256
+                ).digest()
+            )
+        return b"".join(blocks)[:length]
+
+    def _tag(self, iv: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        mac = hmac.new(self._mac_key, digestmod=sha256)
+        mac.update(struct.pack("<II", len(aad), len(ciphertext)))
+        mac.update(iv)
+        mac.update(aad)
+        mac.update(ciphertext)
+        return mac.digest()[:MAC_BYTES]
+
+    # -- public API -----------------------------------------------------------
+    def seal(self, iv: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ``IV || ciphertext || MAC``."""
+        if len(iv) != IV_BYTES:
+            raise ValueError("IV must be %d bytes" % IV_BYTES)
+        ciphertext = xor_bytes(plaintext, self._keystream(iv, len(plaintext)))
+        return iv + ciphertext + self._tag(iv, aad, ciphertext)
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt; raises :class:`IntegrityError` on any tamper."""
+        if len(sealed) < IV_BYTES + MAC_BYTES:
+            raise IntegrityError("sealed blob too short to be authentic")
+        iv = sealed[:IV_BYTES]
+        ciphertext = sealed[IV_BYTES : len(sealed) - MAC_BYTES]
+        tag = sealed[len(sealed) - MAC_BYTES :]
+        expected = self._tag(iv, aad, ciphertext)
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("AEAD authentication failed")
+        return xor_bytes(ciphertext, self._keystream(iv, len(ciphertext)))
+
+    @staticmethod
+    def sealed_size(plaintext_len: int) -> int:
+        """Total bytes :meth:`seal` produces for a plaintext of this size."""
+        return IV_BYTES + plaintext_len + MAC_BYTES

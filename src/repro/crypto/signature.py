@@ -1,0 +1,69 @@
+"""Simulated digital signatures for attestation quotes.
+
+Real SGX quotes are ECDSA/EPID signatures rooted in fused device keys.
+No asymmetric primitives ship with the Python stdlib, so we *simulate*
+signatures with an HMAC construction plus an explicit trust registry:
+
+* a :class:`SigningKey` holds the secret and can sign;
+* the matching :class:`VerifyKey` embeds the same secret but is treated,
+  by convention of the simulation, as safely publishable — the threat
+  model code never hands a ``VerifyKey``'s internals to the adversary,
+  only the ability to call :meth:`VerifyKey.verify`.
+
+Functionally this preserves what the reproduction needs: a quote can only
+be produced by the holder of the signing key, and any byte flip in the
+signed body is detected.
+"""
+
+from __future__ import annotations
+
+import hmac
+from hashlib import sha256
+
+from ..errors import AuthenticationError
+
+__all__ = ["SIGNATURE_BYTES", "SigningKey", "VerifyKey", "generate_keypair"]
+
+SIGNATURE_BYTES = 32
+
+
+class VerifyKey:
+    """Verification half of a simulated signature keypair."""
+
+    def __init__(self, secret: bytes, key_id: str):
+        self._secret = secret
+        self.key_id = key_id
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        expected = hmac.new(self._secret, message, sha256).digest()
+        if not hmac.compare_digest(expected, signature):
+            raise AuthenticationError(
+                "signature verification failed for key %r" % self.key_id
+            )
+
+    def fingerprint(self) -> bytes:
+        """Stable public identifier for this key (safe to distribute)."""
+        return sha256(b"fp" + self._secret).digest()[:16]
+
+
+class SigningKey:
+    """Signing half of a simulated signature keypair."""
+
+    def __init__(self, secret: bytes, key_id: str):
+        if len(secret) < 16:
+            raise ValueError("signing secret too short")
+        self._secret = secret
+        self.key_id = key_id
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac.new(self._secret, message, sha256).digest()
+
+    def verify_key(self) -> VerifyKey:
+        return VerifyKey(self._secret, self.key_id)
+
+
+def generate_keypair(seed: bytes, key_id: str):
+    """Deterministically derive a keypair for ``key_id`` from ``seed``."""
+    secret = hmac.new(seed, ("keypair/" + key_id).encode(), sha256).digest()
+    signing = SigningKey(secret, key_id)
+    return signing, signing.verify_key()

@@ -1,0 +1,13 @@
+"""Memory management: enclave/host regions and the mempool allocator."""
+
+from .allocator import MempoolAllocator, PooledBuffer
+from .regions import Allocation, EnclaveMemory, HostMemory, MemoryRegion
+
+__all__ = [
+    "Allocation",
+    "EnclaveMemory",
+    "HostMemory",
+    "MempoolAllocator",
+    "MemoryRegion",
+    "PooledBuffer",
+]

@@ -1,0 +1,24 @@
+"""Networking substrate: fabric, secure messages, eRPC, sockets, adversary."""
+
+from .adversary import NetworkAdversary, flip_payload_byte
+from .erpc import ErpcEndpoint, RpcReply
+from .message import MsgType, ReplayGuard, TxMessage, wire_size
+from .secure_rpc import SecureRpc
+from .simnet import Fabric, Frame, Nic
+from .sockets import SocketStack
+
+__all__ = [
+    "ErpcEndpoint",
+    "Fabric",
+    "Frame",
+    "MsgType",
+    "NetworkAdversary",
+    "Nic",
+    "ReplayGuard",
+    "RpcReply",
+    "SecureRpc",
+    "SocketStack",
+    "TxMessage",
+    "flip_payload_byte",
+    "wire_size",
+]

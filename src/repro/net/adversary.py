@@ -1,0 +1,122 @@
+"""Network adversary: the §III attacker's powers over the untrusted network.
+
+"An adversary can control the entire software stack outside the enclave
+(including the network stack, i.e., they can drop, delay, or manipulate
+network traffic)."  The adversary interposes on every routed frame and
+returns a list of ``(frame_or_None, extra_delay)`` verdicts — ``None``
+drops, several entries duplicate, a modified frame models tampering.
+
+Rules are deliberately programmable so tests can script precise attacks
+(e.g. "replay the 3rd prepare message").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..sim.rng import SeededRng
+from .simnet import Frame
+
+__all__ = ["Verdict", "NetworkAdversary"]
+
+Verdict = List[Tuple[Optional[Frame], float]]
+Rule = Callable[[Frame], Optional[Verdict]]
+
+
+def _passthrough(frame: Frame) -> Verdict:
+    return [(frame, 0.0)]
+
+
+class NetworkAdversary:
+    """Composable attack rules applied to frames in flight."""
+
+    def __init__(self, rng: Optional[SeededRng] = None):
+        self.rng = rng or SeededRng(0, "adversary")
+        self._rules: List[Rule] = []
+        self.tampered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def add_rule(self, rule: Rule) -> None:
+        """Install a rule; the first rule returning a verdict wins."""
+        self._rules.append(rule)
+
+    def intercept(self, frame: Frame) -> Verdict:
+        for rule in self._rules:
+            verdict = rule(frame)
+            if verdict is not None:
+                return verdict
+        return _passthrough(frame)
+
+    # -- canned attacks ----------------------------------------------------
+    def drop_matching(self, predicate: Callable[[Frame], bool]) -> None:
+        """Silently drop every frame the predicate selects."""
+
+        def rule(frame: Frame) -> Optional[Verdict]:
+            if predicate(frame):
+                self.dropped += 1
+                return [(None, 0.0)]
+            return None
+
+        self.add_rule(rule)
+
+    def duplicate_matching(self, predicate: Callable[[Frame], bool]) -> None:
+        """Deliver matching frames twice (replay within a connection)."""
+
+        def rule(frame: Frame) -> Optional[Verdict]:
+            if predicate(frame):
+                self.duplicated += 1
+                return [(frame, 0.0), (frame, 0.0)]
+            return None
+
+        self.add_rule(rule)
+
+    def delay_matching(
+        self, predicate: Callable[[Frame], bool], delay: float
+    ) -> None:
+        """Hold matching frames back by ``delay`` seconds."""
+
+        def rule(frame: Frame) -> Optional[Verdict]:
+            if predicate(frame):
+                self.delayed += 1
+                return [(frame, delay)]
+            return None
+
+        self.add_rule(rule)
+
+    def tamper_matching(
+        self,
+        predicate: Callable[[Frame], bool],
+        mutate: Callable[[Frame], Frame],
+    ) -> None:
+        """Apply ``mutate`` to matching frames (bit flips, payload swaps)."""
+
+        def rule(frame: Frame) -> Optional[Verdict]:
+            if predicate(frame):
+                self.tampered += 1
+                return [(mutate(frame), 0.0)]
+            return None
+
+        self.add_rule(rule)
+
+    def drop_randomly(self, probability: float) -> None:
+        """Drop each frame independently with the given probability."""
+
+        def rule(frame: Frame) -> Optional[Verdict]:
+            if self.rng.random() < probability:
+                self.dropped += 1
+                return [(None, 0.0)]
+            return None
+
+        self.add_rule(rule)
+
+
+def flip_payload_byte(frame: Frame, offset: int = 0) -> Frame:
+    """Helper mutation: flip one byte of a bytes payload."""
+    payload = frame.payload
+    if isinstance(payload, (bytes, bytearray)) and payload:
+        mutated = bytearray(payload)
+        mutated[offset % len(mutated)] ^= 0x01
+        frame.payload = bytes(mutated)
+    return frame

@@ -1,0 +1,174 @@
+"""Treaty's secure message format (§VII-A).
+
+Wire layout: ``IV (12 B) || padding (4 B) || metadata (80 B) || data || MAC (16 B)``.
+Metadata and data are encrypted; IV and MAC are in the clear — flipping
+either simply fails the integrity check.  The metadata carries the
+coordinator node id, the transaction id (monotonically incremented at the
+coordinator) and a per-request operation id; the ``(node, txn, op)``
+triple uniquely identifies an operation cluster-wide and is how receivers
+enforce at-most-once execution against duplicated/replayed packets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from ..crypto.aead import IV_BYTES, MAC_BYTES, Aead
+from ..errors import IntegrityError, ReplayError
+
+__all__ = [
+    "MsgType",
+    "TxMessage",
+    "ReplayGuard",
+    "METADATA_BYTES",
+    "PAD_BYTES",
+    "wire_size",
+]
+
+PAD_BYTES = 4  # §VII-A: 4 B payload for memory alignment
+METADATA_BYTES = 80  # §VII-A: 80 B Tx metadata
+
+_AAD = b"treaty-msg-v1"
+# node id (8) + txn id (8) + op id (8) + msg type (4) + body length (4)
+# + reserved padding up to 80 bytes.
+_META_STRUCT = struct.Struct("<QQQiI")
+_META_RESERVED = METADATA_BYTES - _META_STRUCT.size
+
+
+class MsgType:
+    """Request/response kinds carried by Treaty messages."""
+
+    TXN_READ = 1
+    TXN_WRITE = 2
+    TXN_PREPARE = 3
+    TXN_COMMIT = 4
+    TXN_ABORT = 5
+    ACK = 6
+    FAIL = 7
+    COUNTER_UPDATE = 8
+    COUNTER_ECHO = 9
+    COUNTER_CONFIRM = 10
+    CLIENT_REQUEST = 11
+    CLIENT_REPLY = 12
+    RECOVERY_QUERY = 13
+    RECOVERY_REPLY = 14
+    TXN_RESOLVE = 15
+    TXN_RESOLVE_REPLY = 16
+    TXN_SCAN = 17
+
+    NAMES = {
+        1: "TXN_READ",
+        2: "TXN_WRITE",
+        3: "TXN_PREPARE",
+        4: "TXN_COMMIT",
+        5: "TXN_ABORT",
+        6: "ACK",
+        7: "FAIL",
+        8: "COUNTER_UPDATE",
+        9: "COUNTER_ECHO",
+        10: "COUNTER_CONFIRM",
+        11: "CLIENT_REQUEST",
+        12: "CLIENT_REPLY",
+        13: "RECOVERY_QUERY",
+        14: "RECOVERY_REPLY",
+        15: "TXN_RESOLVE",
+        16: "TXN_RESOLVE_REPLY",
+        17: "TXN_SCAN",
+    }
+
+
+@dataclass(frozen=True)
+class TxMessage:
+    """One transaction-protocol message before sealing."""
+
+    msg_type: int
+    node_id: int  # coordinator node's id (8 B)
+    txn_id: int  # coordinator-local monotonic transaction id (8 B)
+    op_id: int  # unique per request within the transaction (8 B)
+    body: bytes = b""
+
+    # -- identity --------------------------------------------------------
+    @property
+    def operation_key(self) -> Tuple[int, int, int]:
+        """The unique (node, txn, op) triple used for at-most-once checks."""
+        return (self.node_id, self.txn_id, self.op_id)
+
+    # -- encoding ---------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize metadata + body (the to-be-encrypted plaintext)."""
+        meta = _META_STRUCT.pack(
+            self.node_id, self.txn_id, self.op_id, self.msg_type, len(self.body)
+        )
+        return meta + b"\x00" * _META_RESERVED + self.body
+
+    @classmethod
+    def decode(cls, plaintext: bytes) -> "TxMessage":
+        if len(plaintext) < METADATA_BYTES:
+            raise IntegrityError("message shorter than its metadata")
+        node_id, txn_id, op_id, msg_type, body_len = _META_STRUCT.unpack_from(
+            plaintext
+        )
+        body = plaintext[METADATA_BYTES:]
+        if len(body) != body_len:
+            raise IntegrityError("message body length mismatch")
+        return cls(msg_type, node_id, txn_id, op_id, body)
+
+    # -- sealing -----------------------------------------------------------
+    def seal(self, aead: Aead, iv: bytes) -> bytes:
+        """Encrypt+authenticate into the full wire layout."""
+        sealed = aead.seal(iv, self.encode(), aad=_AAD)
+        # Insert the 4 B alignment pad after the IV, outside the MAC'd
+        # region exactly as in the paper (it carries no information).
+        return sealed[:IV_BYTES] + b"\x00" * PAD_BYTES + sealed[IV_BYTES:]
+
+    @classmethod
+    def unseal(cls, aead: Aead, wire: bytes) -> "TxMessage":
+        if len(wire) < IV_BYTES + PAD_BYTES + MAC_BYTES:
+            raise IntegrityError("sealed message too short")
+        stripped = wire[:IV_BYTES] + wire[IV_BYTES + PAD_BYTES :]
+        return cls.decode(aead.open(stripped, aad=_AAD))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = MsgType.NAMES.get(self.msg_type, str(self.msg_type))
+        return "<TxMessage %s node=%d txn=%d op=%d body=%dB>" % (
+            name,
+            self.node_id,
+            self.txn_id,
+            self.op_id,
+            len(self.body),
+        )
+
+
+def wire_size(body_len: int, encrypted: bool) -> int:
+    """Bytes on the wire for a message with an ``body_len``-byte body."""
+    plain = METADATA_BYTES + body_len
+    if encrypted:
+        return IV_BYTES + PAD_BYTES + plain + MAC_BYTES
+    return plain
+
+
+class ReplayGuard:
+    """At-most-once filter over ``(node, txn, op)`` operation ids.
+
+    The paper: "This unique tuple of the node's, Tx and operation ids
+    ensures that an operation/Tx is not executed more than once."
+    """
+
+    def __init__(self):
+        self._seen: Set[Tuple[int, int, int]] = set()
+        self.rejected = 0
+
+    def check(self, message: TxMessage) -> None:
+        """Record the message; raise :class:`ReplayError` if seen before."""
+        key = message.operation_key
+        if key in self._seen:
+            self.rejected += 1
+            raise ReplayError(
+                "duplicate operation %r (replayed or double-executed)" % (key,)
+            )
+        self._seen.add(key)
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,157 @@
+"""Treaty's secure channel: TxMessages over eRPC with at-most-once delivery.
+
+This is the layer §VII-A describes: every 2PC message is sealed with the
+cluster network key into the ``IV || pad || metadata || data || MAC``
+layout before it enters the untrusted host memory and NIC, and every
+received request passes the replay guard so that a duplicated or
+re-injected packet can never double-execute an operation.
+
+When the environment profile disables encryption ("Treaty w/o Enc",
+native baselines), messages travel as plaintext encodings — functionally
+observable by the adversary, which is exactly what that configuration
+trades away — and no crypto cost is charged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Any, Callable, Generator, Tuple
+
+from ..crypto.keys import KeyRing
+from ..errors import ReplayError
+from ..sim.core import Event
+from ..tee.runtime import NodeRuntime
+from .erpc import ErpcEndpoint
+from .message import MsgType, ReplayGuard, TxMessage, wire_size
+
+__all__ = ["SecureRpc"]
+
+# Handler signature: (TxMessage, src_address) -> generator -> TxMessage.
+SecureHandler = Callable[[TxMessage, str], Generator[Event, Any, TxMessage]]
+
+
+class SecureRpc:
+    """Secure transaction messaging bound to one node's eRPC endpoint."""
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        endpoint: ErpcEndpoint,
+        keyring: KeyRing,
+        node_numeric_id: int,
+    ):
+        self.runtime = runtime
+        self.endpoint = endpoint
+        self.node_numeric_id = node_numeric_id
+        self._aead = keyring.network_aead()
+        self.replay_guard = ReplayGuard()
+        self._iv_seq = itertools.count(1)
+        self.messages_sealed = 0
+        self.auth_failures = 0
+
+    # -- encoding -----------------------------------------------------------
+    @property
+    def _encrypted(self) -> bool:
+        return self.runtime.profile.encryption
+
+    def _next_iv(self) -> bytes:
+        # Node id + per-node counter: never reused cluster-wide.
+        return struct.pack("<IQ", self.node_numeric_id & 0xFFFFFFFF, next(self._iv_seq))
+
+    def _encode(self, message: TxMessage) -> Tuple[bytes, int]:
+        """Produce wire bytes + size, sealing when the profile encrypts."""
+        if self._encrypted:
+            self.messages_sealed += 1
+            wire = message.seal(self._aead, self._next_iv())
+        else:
+            wire = message.encode()
+        return wire, wire_size(len(message.body), self._encrypted)
+
+    def _decode(self, wire: bytes) -> TxMessage:
+        if self._encrypted:
+            return TxMessage.unseal(self._aead, wire)
+        return TxMessage.decode(wire)
+
+    # -- client side -------------------------------------------------------------
+    def enqueue(self, dst: str, message: TxMessage, express: bool = False) -> Event:
+        """Seal and enqueue a request; the event fires with the reply TxMessage.
+
+        Like eRPC's ``enqueue_request``, this returns immediately so a
+        coordinator can batch requests to all participants before
+        yielding (Figure 2, steps 1–2).
+
+        ``express`` marks traffic served by a dedicated enclave thread
+        (the asynchronous trusted-counter service, §VI) that skips the
+        shared fiber scheduler's resume delay.
+        """
+        outcome = self.runtime.sim.event()
+        self.runtime.sim.process(
+            self._exchange(dst, message, outcome, express),
+            name="securerpc@%d" % self.node_numeric_id,
+        )
+        return outcome
+
+    def call(
+        self, dst: str, message: TxMessage
+    ) -> Generator[Event, Any, TxMessage]:
+        """Send one request and wait for its verified reply."""
+        reply = yield self.enqueue(dst, message)
+        return reply
+
+    def _exchange(
+        self, dst: str, message: TxMessage, outcome: Event, express: bool = False
+    ):
+        try:
+            wire, nbytes = self._encode(message)
+            if self._encrypted:
+                yield from self.runtime.seal_cost(nbytes)
+            reply = yield self.endpoint.enqueue_request(
+                dst, message.msg_type, wire, nbytes
+            )
+            # Under SCONE, the fiber that blocked on this RPC waits for
+            # the userland scheduler to run it again; the delay grows
+            # with the number of concurrently served requests (§VII-C).
+            if not express:
+                resume_delay = self.runtime.fiber_resume_delay()
+                if resume_delay > 0.0:
+                    yield self.runtime.sim.timeout(resume_delay)
+            if self._encrypted:
+                yield from self.runtime.seal_cost(reply.nbytes)
+            decoded = self._decode(reply.payload)
+        except Exception as exc:  # noqa: BLE001 - propagate to the waiter
+            if not outcome.triggered:
+                outcome.fail(exc)
+            return
+        if not outcome.triggered:
+            outcome.succeed(decoded)
+
+    # -- server side ----------------------------------------------------------------
+    def register(self, msg_type: int, handler: SecureHandler) -> None:
+        """Install a verified-message handler for ``msg_type`` requests."""
+
+        def wrapped(payload: bytes, src: str):
+            if self._encrypted:
+                yield from self.runtime.seal_cost(len(payload))
+            try:
+                message = self._decode(payload)
+            except Exception:
+                self.auth_failures += 1
+                raise
+            # At-most-once: ACK-type messages are exempt (§VII-A), every
+            # state-changing request is checked.
+            if message.msg_type not in (MsgType.ACK, MsgType.FAIL):
+                try:
+                    self.replay_guard.check(message)
+                except ReplayError:
+                    # A replayed request is *not* re-executed and *not*
+                    # answered: the genuine execution's reply (matched by
+                    # request id) is the only response the sender sees.
+                    return None, 0
+            reply = yield from handler(message, src)
+            wire, nbytes = self._encode(reply)
+            if self._encrypted:
+                yield from self.runtime.seal_cost(nbytes)
+            return wire, nbytes
+
+        self.endpoint.register_handler(msg_type, wrapped)

@@ -1,0 +1,141 @@
+"""Simulated network fabric: NICs, links, frames, adversary interposition.
+
+The testbed (§VIII-A) connects Treaty nodes over a 40 GbE QSFP+ switch
+and clients over a secondary 1 Gb/s NIC.  A :class:`Fabric` routes
+messages between :class:`Nic` endpoints; each NIC serializes its egress
+at its link bandwidth and then the message propagates to the destination
+inbox.  Everything an adversary may do to the untrusted network — drop,
+delay, reorder, duplicate, tamper (§III) — is implemented by installing
+an :class:`~repro.net.adversary.NetworkAdversary` on the fabric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from ..errors import NetworkError
+from ..sim.core import Event, Simulator
+from ..sim.sync import Resource, Store
+
+__all__ = ["Frame", "Nic", "Fabric"]
+
+
+@dataclass
+class Frame:
+    """One message in flight (sized for cost modelling).
+
+    ``payload`` is the application object; ``wire_bytes`` is what the link
+    serializes (header + payload + any crypto framing).
+    """
+
+    src: str
+    dst: str
+    wire_bytes: int
+    payload: Any
+    kind: str = "msg"  # "msg" for datagram-like, "stream" for TCP-like
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Nic:
+    """A network endpoint with an egress link and an inbox."""
+
+    def __init__(
+        self,
+        fabric: "Fabric",
+        address: str,
+        bandwidth: float,
+        propagation: float,
+    ):
+        self.fabric = fabric
+        self.address = address
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.inbox: Store = Store(fabric.sim)
+        self._egress = Resource(fabric.sim, capacity=1)
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def transmit(self, frame: Frame) -> Generator[Event, Any, None]:
+        """Serialize ``frame`` onto the link, then hand it to the fabric.
+
+        The caller (a fiber) blocks for the serialization time — wire
+        occupancy is what saturates links in Figure 8 — but not for the
+        propagation delay.
+        """
+        yield self._egress.request()
+        try:
+            yield self.fabric.sim.timeout(frame.wire_bytes / self.bandwidth)
+        finally:
+            self._egress.release()
+        self.tx_bytes += frame.wire_bytes
+        self.fabric.route(frame, self.propagation)
+
+    def receive(self) -> Event:
+        """Event that fires with the next inbound frame."""
+        return self.inbox.get()
+
+    def _deliver(self, frame: Frame) -> None:
+        self.rx_bytes += frame.wire_bytes
+        self.inbox.put(frame)
+
+
+class Fabric:
+    """The switch connecting every NIC; owns routing and the adversary hook."""
+
+    def __init__(self, sim: Simulator, mtu: int = 1460):
+        self.sim = sim
+        self.mtu = mtu
+        self._nics: Dict[str, Nic] = {}
+        self.adversary: Optional[Any] = None  # NetworkAdversary, if installed
+        self.delivered_frames = 0
+        self.dropped_frames = 0
+
+    def attach(
+        self, address: str, bandwidth: float, propagation: float
+    ) -> Nic:
+        """Create and register a NIC for ``address``."""
+        if address in self._nics:
+            raise NetworkError("address %r already attached" % address)
+        nic = Nic(self, address, bandwidth, propagation)
+        self._nics[address] = nic
+        return nic
+
+    def detach(self, address: str) -> None:
+        """Remove a NIC (node crash); in-flight frames to it are dropped."""
+        self._nics.pop(address, None)
+
+    def nic(self, address: str) -> Nic:
+        try:
+            return self._nics[address]
+        except KeyError:
+            raise NetworkError("no NIC attached at %r" % address) from None
+
+    def frames_for(self, nbytes: int) -> int:
+        """Number of MTU-sized frames an ``nbytes`` message occupies."""
+        return max(1, math.ceil(nbytes / self.mtu))
+
+    def route(self, frame: Frame, propagation: float) -> None:
+        """Move a frame toward its destination, adversary permitting."""
+        if self.adversary is not None:
+            verdicts = self.adversary.intercept(frame)
+        else:
+            verdicts = [(frame, 0.0)]
+        for out_frame, extra_delay in verdicts:
+            if out_frame is None:
+                self.dropped_frames += 1
+                continue
+            self._schedule_delivery(out_frame, propagation + extra_delay)
+
+    def _schedule_delivery(self, frame: Frame, delay: float) -> None:
+        def deliver():
+            yield self.sim.timeout(delay)
+            destination = self._nics.get(frame.dst)
+            if destination is None:
+                self.dropped_frames += 1
+                return
+            self.delivered_frames += 1
+            destination._deliver(frame)
+
+        self.sim.process(deliver(), name="deliver->%s" % frame.dst)

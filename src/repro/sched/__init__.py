@@ -1,0 +1,5 @@
+"""Userland scheduling: the round-robin fiber scheduler of §VII-C."""
+
+from .fibers import Compute, Fiber, FiberScheduler, Sleep, Wait, YieldNow
+
+__all__ = ["Compute", "Fiber", "FiberScheduler", "Sleep", "Wait", "YieldNow"]

@@ -1,0 +1,392 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module is the substrate on which every Treaty component runs.  The
+paper executes its protocol on real SGX hardware with SCONE fibers; we
+execute the same protocol logic on a virtual clock so that TEE, network
+and storage costs can be charged deterministically.
+
+The model is intentionally close to SimPy:
+
+* a :class:`Simulator` owns the clock and the event heap,
+* an :class:`Event` is a one-shot occurrence that carries a value or an
+  exception,
+* a :class:`Process` wraps a generator; the generator *yields* events and
+  is resumed with the event's value once it triggers.
+
+Processes double as the paper's *fibers* (userland threads, §VII-C): the
+round-robin userland scheduler in :mod:`repro.sched.fibers` is layered on
+top of these primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "SimulationError",
+]
+
+# A process body is a generator that yields events and receives their values.
+ProcessBody = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (not a modelled fault)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt` (e.g. a lock-timeout marker).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` triggers them,
+    after which their callbacks run at the current simulation instant.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already occurred."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when it failed)."""
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator does not crash."""
+        self._defused = True
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters have ``exception`` raised."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._trigger(False, exception)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.sim._dispatch(self)
+
+    # -- waiting --------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event triggers.
+
+        If the event already triggered, the callback is dispatched at the
+        current instant instead of being lost.
+        """
+        if self._callbacks is None:
+            # Already dispatched: deliver asynchronously but immediately.
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _consume_callbacks(self) -> List[Callable[["Event"], None]]:
+        callbacks, self._callbacks = self._callbacks or [], None
+        return callbacks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return "<%s %s at t=%.9f>" % (type(self).__name__, state, self.sim.now)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative timeout delay: %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule_at(sim.now + delay, self, True, value)
+
+
+class Process(Event):
+    """A running activity driven by a generator.
+
+    The process is itself an event: it triggers with the generator's
+    return value when the generator finishes, or fails with the escaping
+    exception.  Other processes may therefore ``yield`` a process to join
+    it.
+    """
+
+    __slots__ = ("_body", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(body, "send"):
+            raise SimulationError("Process body must be a generator")
+        self._body = body
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(body, "__name__", "process")
+        # Kick off the body at the current instant (single heap entry).
+        sim._schedule_call(self._bootstrap_call)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self._triggered:
+            return
+        interrupt_event = Event(self.sim)
+        interrupt_event.add_callback(self._deliver_interrupt)
+        interrupt_event.succeed(cause)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Detach from whatever we were waiting on; the stale callback
+        # becomes a no-op because _waiting_on no longer matches.
+        self._waiting_on = None
+        self._step(throw=Interrupt(event.value))
+
+    def _bootstrap_call(self) -> None:
+        self._step(send=None)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered or self._waiting_on is not event:
+            return  # stale wake-up (e.g. after an interrupt)
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            event.defuse()
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self._body.throw(throw)
+            else:
+                target = self._body.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - modelled fault propagation
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    "process %r yielded %r; processes must yield events"
+                    % (self.name, target)
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _ConditionEvent(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _values(self) -> List[Any]:
+        return [e.value for e in self.events if e.triggered and e.ok]
+
+
+class AnyOf(_ConditionEvent):
+    """Triggers when the first of ``events`` triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self.succeed(event)
+
+
+class AllOf(_ConditionEvent):
+    """Triggers when all of ``events`` have triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._values())
+
+
+class Simulator:
+    """Owns the virtual clock and runs events in timestamp order.
+
+    Determinism: ties in time are broken by scheduling order (a strictly
+    increasing sequence number), so two runs with the same seed replay an
+    identical history.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Any] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        """Create a pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, body: ProcessBody, name: str = "") -> Process:
+        """Start running ``body`` as a process at the current instant."""
+        return Process(self, body, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every one of ``events`` has fired."""
+        return AllOf(self, events)
+
+    # -- scheduling internals --------------------------------------------
+    def _schedule_at(self, when: float, event: Event, ok: bool, value: Any) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), "event", event, ok, value))
+
+    def _dispatch(self, event: Event) -> None:
+        heapq.heappush(
+            self._heap, (self.now, next(self._seq), "dispatch", event, None, None)
+        )
+
+    def _schedule_call(self, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (self.now, next(self._seq), "call", fn, None, None))
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> None:
+        """Process a single heap entry, advancing the clock if needed."""
+        when, _seq, kind, payload, ok, value = heapq.heappop(self._heap)
+        self.now = when
+        if kind == "call":
+            payload()
+            return
+        event: Event = payload
+        if kind == "event":
+            # A Timeout reaching its due time: trigger it now.
+            if not event._triggered:
+                event._triggered = True
+                event._ok = ok
+                event._value = value
+            self._run_callbacks(event)
+        else:  # "dispatch": event was triggered explicitly via succeed/fail
+            self._run_callbacks(event)
+
+    def _run_callbacks(self, event: Event) -> None:
+        callbacks = event._consume_callbacks()
+        if not event.ok and not callbacks and not event._defused:
+            raise event.value
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, body: ProcessBody, name: str = "") -> Any:
+        """Convenience: run ``body`` to completion and return its result.
+
+        This drives the whole simulation (other scheduled activity included)
+        until the given process finishes.
+        """
+        proc = self.process(body, name=name)
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    "deadlock: process %r cannot finish (no pending events)"
+                    % (proc.name,)
+                )
+            self.step()
+        if not proc.ok:
+            proc.defuse()
+            raise proc.value
+        return proc.value

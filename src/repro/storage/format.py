@@ -1,0 +1,130 @@
+"""Binary record formats shared by logs, SSTables and the wire.
+
+A tiny length-prefixed codec: every variable field is written as
+``u32 length || bytes``, integers as little-endian u64.  Log entries are
+framed as ``u64 counter || u32 length || payload || tag(32 B)`` so a
+reader can walk a log byte-exactly and the authentication chain covers
+counter+payload of each entry.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import CorruptLogError
+
+__all__ = [
+    "Writer",
+    "Reader",
+    "LogEntry",
+    "frame_log_entry",
+    "iter_log_entries",
+    "pack_kv",
+    "unpack_kv",
+]
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+TAG_BYTES = 32
+
+
+class Writer:
+    """Append-only binary builder."""
+
+    def __init__(self):
+        self._parts: List[bytes] = []
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(_U32.pack(value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        self._parts.append(_U64.pack(value))
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        self._parts.append(_U32.pack(len(data)))
+        self._parts.append(data)
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        self._parts.append(data)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Sequential binary parser with bounds checking."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+
+    def _take(self, nbytes: int) -> bytes:
+        end = self.offset + nbytes
+        if end > len(self.data):
+            raise CorruptLogError(
+                "truncated record (wanted %d bytes at offset %d, have %d)"
+                % (nbytes, self.offset, len(self.data))
+            )
+        chunk = self.data[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def blob(self) -> bytes:
+        return self._take(self.u32())
+
+    def raw(self, nbytes: int) -> bytes:
+        return self._take(nbytes)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset >= len(self.data)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One parsed log entry."""
+
+    counter: int
+    payload: bytes
+    tag: bytes
+    offset: int  # byte offset of the entry in its file
+
+
+def frame_log_entry(counter: int, payload: bytes, tag: bytes) -> bytes:
+    """Serialize one log entry (counter, payload, chain tag)."""
+    if len(tag) != TAG_BYTES:
+        raise ValueError("log tag must be %d bytes" % TAG_BYTES)
+    return _U64.pack(counter) + _U32.pack(len(payload)) + payload + tag
+
+
+def iter_log_entries(data: bytes) -> Iterator[LogEntry]:
+    """Walk a log file's bytes, yielding entries in order."""
+    reader = Reader(data)
+    while not reader.exhausted:
+        offset = reader.offset
+        counter = reader.u64()
+        payload = reader.blob()
+        tag = reader.raw(TAG_BYTES)
+        yield LogEntry(counter, payload, tag, offset)
+
+
+def pack_kv(key: bytes, value: bytes) -> bytes:
+    """Encode one key/value pair."""
+    return Writer().blob(key).blob(value).getvalue()
+
+
+def unpack_kv(data: bytes) -> Tuple[bytes, bytes]:
+    reader = Reader(data)
+    return reader.blob(), reader.blob()

@@ -1,0 +1,134 @@
+"""MANIFEST: the authenticated root of the persistent-state tree.
+
+"MANIFEST logs the changes in the state of the persistent storage
+(e.g., compactions, live logs)" (§V-A).  Recovery replays it first: it
+rebuilds the SSTable hierarchy, loads the footer hashes used to verify
+every SSTable access, and identifies the live WAL and Clog files
+(§VI, crash consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..errors import CorruptLogError
+from ..sim.core import Event
+from .format import Reader, Writer
+from .log import SecureLog
+from .sstable import SSTableMeta
+
+__all__ = ["ManifestEdit", "VersionState", "Manifest"]
+
+Gen = Generator[Event, Any, Any]
+
+
+class ManifestEdit:
+    """One state transition of the persistent storage."""
+
+    ADD_TABLE = 1
+    DEL_TABLE = 2
+    NEW_LOG = 3
+    DEL_LOG = 4
+
+    def __init__(
+        self,
+        kind: int,
+        table: Optional[SSTableMeta] = None,
+        filename: str = "",
+        log_kind: str = "",
+    ):
+        self.kind = kind
+        self.table = table
+        self.filename = filename
+        self.log_kind = log_kind  # "wal" or "clog"
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def add_table(cls, table: SSTableMeta) -> "ManifestEdit":
+        return cls(cls.ADD_TABLE, table=table)
+
+    @classmethod
+    def del_table(cls, filename: str) -> "ManifestEdit":
+        return cls(cls.DEL_TABLE, filename=filename)
+
+    @classmethod
+    def new_log(cls, log_kind: str, filename: str) -> "ManifestEdit":
+        return cls(cls.NEW_LOG, filename=filename, log_kind=log_kind)
+
+    @classmethod
+    def del_log(cls, log_kind: str, filename: str) -> "ManifestEdit":
+        return cls(cls.DEL_LOG, filename=filename, log_kind=log_kind)
+
+    # -- codec ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        writer = Writer().u32(self.kind)
+        if self.kind == self.ADD_TABLE:
+            writer.blob(self.table.encode())
+        else:
+            writer.blob(self.filename.encode()).blob(self.log_kind.encode())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ManifestEdit":
+        reader = Reader(data)
+        kind = reader.u32()
+        if kind == cls.ADD_TABLE:
+            return cls(kind, table=SSTableMeta.decode(reader.blob()))
+        if kind in (cls.DEL_TABLE, cls.NEW_LOG, cls.DEL_LOG):
+            filename = reader.blob().decode()
+            log_kind = reader.blob().decode()
+            return cls(kind, filename=filename, log_kind=log_kind)
+        raise CorruptLogError("unknown manifest edit kind %d" % kind)
+
+
+@dataclass
+class VersionState:
+    """The storage state reconstructed by replaying the MANIFEST."""
+
+    tables: Dict[int, List[SSTableMeta]] = field(default_factory=dict)
+    live_wals: List[str] = field(default_factory=list)
+    live_clogs: List[str] = field(default_factory=list)
+
+    def apply(self, edit: ManifestEdit) -> None:
+        if edit.kind == ManifestEdit.ADD_TABLE:
+            self.tables.setdefault(edit.table.level, []).append(edit.table)
+        elif edit.kind == ManifestEdit.DEL_TABLE:
+            for level_tables in self.tables.values():
+                level_tables[:] = [
+                    t for t in level_tables if t.filename != edit.filename
+                ]
+        elif edit.kind == ManifestEdit.NEW_LOG:
+            target = self.live_wals if edit.log_kind == "wal" else self.live_clogs
+            if edit.filename not in target:
+                target.append(edit.filename)
+        elif edit.kind == ManifestEdit.DEL_LOG:
+            target = self.live_wals if edit.log_kind == "wal" else self.live_clogs
+            if edit.filename in target:
+                target.remove(edit.filename)
+
+    def max_seq(self) -> int:
+        return max(
+            (t.max_seq for tables in self.tables.values() for t in tables),
+            default=0,
+        )
+
+
+class Manifest:
+    """The MANIFEST file: a :class:`SecureLog` of :class:`ManifestEdit`s."""
+
+    def __init__(self, log: SecureLog):
+        self.log = log
+
+    def record(self, edit: ManifestEdit) -> Gen:
+        """Append one edit; returns its trusted counter value."""
+        counter = yield from self.log.append(edit.encode())
+        return counter
+
+    def replay(self, up_to_counter: Optional[int] = None) -> Gen:
+        """Rebuild the :class:`VersionState` from the on-disk MANIFEST."""
+        entries = yield from self.log.replay(up_to_counter)
+        state = VersionState()
+        for _counter, payload in entries:
+            state.apply(ManifestEdit.decode(payload))
+        return state

@@ -1,0 +1,19 @@
+"""TEE substrate: enclave model, SGX primitives, attestation, runtime."""
+
+from .attestation import IntelAttestationService, PlatformQuotingEnclave
+from .counters import HardwareMonotonicCounter
+from .enclave import Enclave
+from .runtime import NodeRuntime
+from .sgx import Quote, Report, SealingKey, measure
+
+__all__ = [
+    "Enclave",
+    "HardwareMonotonicCounter",
+    "IntelAttestationService",
+    "NodeRuntime",
+    "PlatformQuotingEnclave",
+    "Quote",
+    "Report",
+    "SealingKey",
+    "measure",
+]

@@ -1,0 +1,43 @@
+"""Enclave model: EPC accounting, paging charges, world switches.
+
+An :class:`Enclave` tracks the enclave-resident working set through an
+:class:`~repro.memory.regions.EnclaveMemory` region and converts EPC
+over-subscription into paging CPU time, the dominant cost the paper's
+memory layout (§VII-D) is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel
+from ..memory.regions import EnclaveMemory
+
+__all__ = ["Enclave"]
+
+
+class Enclave:
+    """One node's SGX enclave (memory + transition cost bookkeeping)."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+        self.memory = EnclaveMemory(costs.epc_bytes)
+        self.transitions = 0
+        self.page_faults = 0
+
+    def transition_cost(self) -> float:
+        """CPU seconds for one world switch (EENTER/EEXIT pair)."""
+        self.transitions += 1
+        return self.costs.world_switch
+
+    def touch_cost(self, nbytes: int) -> float:
+        """Paging CPU seconds for touching ``nbytes`` of enclave data.
+
+        Under EPC pressure a fraction of touched pages miss and must be
+        paged in through the SGX paging path (encrypt/evict + load).
+        """
+        pressure = self.memory.pressure()
+        if pressure <= 0.0 or nbytes <= 0:
+            return 0.0
+        pages = max(1, nbytes // self.costs.page_bytes)
+        faults = pages * pressure
+        self.page_faults += faults
+        return faults * self.costs.epc_page_fault

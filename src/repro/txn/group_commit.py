@@ -1,0 +1,132 @@
+"""Leader-based group commit (§VII-B).
+
+"We allow group commits for Txs to flush bigger data blocks to the
+persistent storage and optimize the SSD throughput.  Each group elects a
+leader that merges their and all followers' Txs buffers into a larger
+buffer.  The leader then writes this buffer into WAL and MemTable."
+
+A commit request enters the queue; whichever fiber finds no active
+leader becomes the leader, drains up to ``max_group`` requests (its own
+included), performs optional OCC validation, assigns sequence numbers,
+writes one batched WAL record set, applies everything to the MemTable
+and wakes each follower with its outcome.  Validation + sequence
+assignment + MemTable application happen inside the leader's critical
+section, which is what makes OCC validation atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import ConflictError, TransactionAborted
+from ..sim.core import Event
+from ..storage.engine import LSMEngine
+from ..tee.runtime import NodeRuntime
+
+__all__ = ["CommitRequest", "GroupCommitter"]
+
+Gen = Generator[Event, Any, Any]
+
+# Validation callback: runs inside the leader's critical section, raises
+# ConflictError to veto the commit.  It is a generator (it may read the
+# engine to compare versions).
+Validator = Callable[[], Generator[Event, Any, None]]
+
+
+class CommitRequest:
+    """One transaction's commit submission."""
+
+    __slots__ = ("txn_id", "writes", "validator", "outcome")
+
+    def __init__(
+        self,
+        txn_id: bytes,
+        writes: List[Tuple[bytes, Optional[bytes]]],
+        validator: Optional[Validator],
+        outcome: Event,
+    ):
+        self.txn_id = txn_id
+        self.writes = writes
+        self.validator = validator
+        self.outcome = outcome
+
+
+class GroupCommitter:
+    """Batches commit requests into single WAL writes."""
+
+    def __init__(self, runtime: NodeRuntime, engine: LSMEngine, max_group: int = 16):
+        self.runtime = runtime
+        self.engine = engine
+        self.max_group = max_group
+        self._queue: List[CommitRequest] = []
+        self._leader_active = False
+        self.groups_formed = 0
+        self.committed = 0
+
+    def submit(
+        self,
+        txn_id: bytes,
+        writes: List[Tuple[bytes, Optional[bytes]]],
+        validator: Optional[Validator] = None,
+    ) -> Gen:
+        """Commit ``writes`` durably; returns the WAL counter value.
+
+        Raises :class:`ConflictError` if the validator vetoes.
+        """
+        outcome = self.runtime.sim.event()
+        self._queue.append(CommitRequest(txn_id, writes, validator, outcome))
+        if not self._leader_active:
+            self._leader_active = True
+            # This fiber becomes the leader and drives the batch;
+            # "defer logging (yield) at commit" lets more requests join.
+            yield self.runtime.sim.timeout(0)
+            yield from self._lead()
+        result = yield outcome
+        return result
+
+    def _lead(self) -> Gen:
+        try:
+            while self._queue:
+                batch = self._queue[: self.max_group]
+                del self._queue[: len(batch)]
+                yield from self._process(batch)
+                self.groups_formed += 1
+        finally:
+            self._leader_active = False
+
+    def _process(self, batch: List[CommitRequest]) -> Gen:
+        # Validate -> sequence -> apply, one request at a time, so each
+        # validation observes the writes of earlier batch members (an
+        # OCC transaction must conflict with a same-batch writer too).
+        admitted: List[CommitRequest] = []
+        records = []
+        for request in batch:
+            if request.validator is not None:
+                try:
+                    yield from request.validator()
+                except TransactionAborted as conflict:
+                    if not request.outcome.triggered:
+                        request.outcome.fail(conflict)
+                        # The submitter may not be waiting yet (the
+                        # leader's own request fails before it yields);
+                        # it picks the failure up at its `yield`.
+                        request.outcome.defuse()
+                    continue
+            writes = [
+                (key, value, self.engine.next_seq())
+                for key, value in request.writes
+            ]
+            yield from self.engine.apply_writes(writes)
+            admitted.append(request)
+            records.append((request.txn_id, writes))
+        if not admitted:
+            return
+        # One batched WAL write for the whole group; durability order
+        # equals apply order because WAL appends are sequential, so a
+        # crash can never persist a later batch without this one.
+        counters = yield from self.engine.log_commits(records)
+        log_name = self.engine.wal_log_name
+        for request, counter in zip(admitted, counters):
+            self.committed += 1
+            if not request.outcome.triggered:
+                request.outcome.succeed((counter, log_name))

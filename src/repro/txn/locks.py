@@ -1,0 +1,171 @@
+"""Sharded key lock table (§V-B).
+
+"Nodes store a table of locks for their keys that is divided across
+shards, each protected with a lock, by splitting the key space.  TREATY
+runs with a big number of shards to avoid locking bottlenecks.  Txs that
+fail to acquire a lock within a timeframe, return with a timeout error."
+
+Locks are reader/writer with FIFO waiting and same-transaction upgrade
+(R→W).  Deadlocks are resolved by the timeout, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..errors import LockTimeout
+from ..sim.core import Event, Simulator
+
+__all__ = ["LockMode", "LockTable"]
+
+Gen = Generator[Event, Any, Any]
+
+
+class LockMode:
+    SHARED = "R"
+    EXCLUSIVE = "W"
+
+
+class _KeyLock:
+    """Lock state for a single key."""
+
+    __slots__ = ("owners", "mode", "waiters")
+
+    def __init__(self):
+        self.owners: Set[bytes] = set()
+        self.mode: Optional[str] = None
+        # (txn_id, mode, key, grant_event) in FIFO order.
+        self.waiters: List[Tuple[bytes, str, bytes, Event]] = []
+
+    def compatible(self, txn_id: bytes, mode: str) -> bool:
+        if not self.owners:
+            return True
+        if self.owners == {txn_id}:
+            return True  # re-entrant / upgrade
+        if mode == LockMode.SHARED and self.mode == LockMode.SHARED:
+            return True
+        return False
+
+    def grant(self, txn_id: bytes, mode: str) -> None:
+        self.owners.add(txn_id)
+        if self.mode != LockMode.EXCLUSIVE:
+            self.mode = mode
+        elif mode == LockMode.EXCLUSIVE:
+            self.mode = mode
+
+    def is_free(self) -> bool:
+        return not self.owners and not self.waiters
+
+
+class LockTable:
+    """Per-node lock manager, sharded by key hash."""
+
+    def __init__(self, sim: Simulator, shards: int = 256, timeout: float = 0.5):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.sim = sim
+        self.shards = shards
+        self.timeout = timeout
+        self._tables: List[Dict[bytes, _KeyLock]] = [dict() for _ in range(shards)]
+        self._held: Dict[bytes, Dict[bytes, str]] = defaultdict(OrderedDict)
+        self.timeouts = 0
+        self.acquisitions = 0
+
+    # -- internals ----------------------------------------------------------
+    def _lock_for(self, key: bytes, create: bool = True) -> Optional[_KeyLock]:
+        shard = self._tables[hash(key) % self.shards]
+        state = shard.get(key)
+        if state is None and create:
+            state = _KeyLock()
+            shard[key] = state
+        return state
+
+    def _gc(self, key: bytes) -> None:
+        shard = self._tables[hash(key) % self.shards]
+        state = shard.get(key)
+        if state is not None and state.is_free():
+            del shard[key]
+
+    def _wake_waiters(self, state: _KeyLock) -> None:
+        while state.waiters:
+            txn_id, mode, key, event = state.waiters[0]
+            if event.triggered:  # abandoned (timed out)
+                state.waiters.pop(0)
+                continue
+            if not state.compatible(txn_id, mode):
+                break
+            state.waiters.pop(0)
+            state.grant(txn_id, mode)
+            self._held[txn_id][key] = mode
+            event.succeed(mode)
+            if mode == LockMode.EXCLUSIVE:
+                break
+
+    # -- public API -----------------------------------------------------------
+    def holds(self, txn_id: bytes, key: bytes, mode: Optional[str] = None) -> bool:
+        held_mode = self._held.get(txn_id, {}).get(key)
+        if held_mode is None:
+            return False
+        if mode is None:
+            return True
+        if mode == LockMode.SHARED:
+            return True  # W covers R
+        return held_mode == LockMode.EXCLUSIVE
+
+    def acquire(
+        self, txn_id: bytes, key: bytes, mode: str, timeout: Optional[float] = None
+    ) -> Gen:
+        """Acquire ``key`` in ``mode`` for ``txn_id`` or raise LockTimeout."""
+        if self.holds(txn_id, key, mode):
+            return
+        state = self._lock_for(key)
+        upgrade = (
+            mode == LockMode.EXCLUSIVE
+            and txn_id in state.owners
+            and state.mode == LockMode.SHARED
+        )
+        if upgrade and state.owners == {txn_id}:
+            state.mode = LockMode.EXCLUSIVE
+            self._held[txn_id][key] = mode
+            self.acquisitions += 1
+            return
+        if not upgrade and state.compatible(txn_id, mode):
+            state.grant(txn_id, mode)
+            self._held[txn_id][key] = mode
+            self.acquisitions += 1
+            return
+        # Must wait (possibly for other readers to drain on an upgrade).
+        grant = self.sim.event()
+        state.waiters.append((txn_id, mode, key, grant))
+        deadline = self.sim.timeout(self.timeout if timeout is None else timeout)
+        yield self.sim.any_of([grant, deadline])
+        if not grant.triggered:
+            # Timed out: withdraw the waiter entry.
+            state.waiters[:] = [w for w in state.waiters if w[3] is not grant]
+            grant.succeed(None)  # poison so a late wake-up is skipped
+            self._gc(key)
+            self.timeouts += 1
+            raise LockTimeout(key)
+        self.acquisitions += 1
+
+    def release_all(self, txn_id: bytes) -> None:
+        """Release every lock ``txn_id`` holds (commit or abort, §IV-A)."""
+        held = self._held.pop(txn_id, None)
+        if not held:
+            return
+        for key in held:
+            state = self._lock_for(key, create=False)
+            if state is None:
+                continue
+            state.owners.discard(txn_id)
+            if not state.owners:
+                state.mode = None
+            self._wake_waiters(state)
+            self._gc(key)
+
+    def held_keys(self, txn_id: bytes) -> List[bytes]:
+        return list(self._held.get(txn_id, ()))
+
+    def total_locked_keys(self) -> int:
+        return sum(len(shard) for shard in self._tables)

@@ -1,0 +1,50 @@
+"""Optimistic (OCC) transactions (§II-A, §V-B).
+
+"Optimistic Txs use sequence numbers to identify conflicts at the commit
+phase.  For optimistic Txs, each key has a seq. number showing its latest
+version and is atomically increased during the commit phase."
+
+Execution takes no locks.  At commit, inside the group-commit leader's
+critical section, the transaction validates that (a) every key it read
+still carries the version it observed, and (b) no key it writes has been
+committed past the transaction's begin snapshot.  Either violation
+raises :class:`~repro.errors.ConflictError` and the transaction aborts
+(callers typically retry).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import ConflictError
+from ..sim.core import Event
+from .base import LocalTransaction
+
+__all__ = ["OptimisticTxn"]
+
+Gen = Generator[Event, Any, Any]
+
+
+class OptimisticTxn(LocalTransaction):
+    """An OCC transaction over one node's storage engine."""
+
+    def __init__(self, manager, txn_id: bytes):
+        super().__init__(manager, txn_id)
+        #: versions committed after this point conflict with our writes.
+        self.snapshot_seq = manager.engine.current_seq()
+
+    def _commit_validator(self):
+        def validate() -> Gen:
+            for key, observed_seq in self.reads.items():
+                current = yield from self.engine.seq_of(key)
+                if current != observed_seq:
+                    raise ConflictError(key)
+            for key in self.buffer.keys():
+                if key in self.reads:
+                    continue  # already validated above
+                current = yield from self.engine.seq_of(key)
+                if current > self.snapshot_seq:
+                    raise ConflictError(key)
+            return
+
+        return validate

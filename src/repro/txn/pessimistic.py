@@ -1,0 +1,107 @@
+"""Pessimistic (two-phase-locking) transactions (§II-A, §V-B).
+
+"Pessimistic Txs acquire locks as they go along (two-phase locking)."
+Reads take shared locks, writes exclusive locks; a lock that cannot be
+granted within the configured timeframe aborts the transaction with a
+timeout error, which also breaks deadlocks.
+
+Pessimistic transactions additionally expose the participant half of the
+2PC protocol: :meth:`prepare` persists the transaction's writes to the
+WAL as a prepare record (recoverable across crashes), after which only
+:meth:`commit_prepared` or :meth:`abort_prepared` may resolve it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import TransactionError
+from ..sim.core import Event
+from .base import LocalTransaction
+from .locks import LockMode
+from .types import TxnStatus
+
+__all__ = ["PessimisticTxn"]
+
+Gen = Generator[Event, Any, Any]
+
+
+class PessimisticTxn(LocalTransaction):
+    """A 2PL transaction over one node's storage engine."""
+
+    def _before_read(self, key: bytes) -> Gen:
+        yield from self.manager.locks.acquire(
+            self.txn_id, key, LockMode.SHARED, timeout=self.manager.lock_timeout
+        )
+
+    def _before_write(self, key: bytes) -> Gen:
+        yield from self.manager.locks.acquire(
+            self.txn_id, key, LockMode.EXCLUSIVE, timeout=self.manager.lock_timeout
+        )
+
+    # -- 2PC participant half (§V-A) -----------------------------------------
+    def prepare(self) -> Gen:
+        """Persist the prepare record; returns ``(counter, log_name)``.
+
+        After this returns the transaction survives crashes: recovery
+        re-initializes it from the WAL and resolves it with the
+        coordinator (§VI).  Locks stay held until resolution.
+        """
+        self._check_active()
+        writes = [(key, value, 0) for key, value in self.buffer.items()]
+        counter, log_name = yield from self.engine.log_prepare(
+            self.txn_id, writes
+        )
+        self.status = TxnStatus.PREPARED
+        return counter, log_name
+
+    def commit_prepared(self) -> Gen:
+        """Resolve a prepared transaction as committed."""
+        if self.status != TxnStatus.PREPARED:
+            raise TransactionError(
+                "commit_prepared on %s transaction" % self.status
+            )
+        writes = self.buffer.items()
+        self.engine.forget_prepared(self.txn_id)
+        counter, log_name = yield from self.manager.group.submit(
+            self.txn_id, writes, None
+        )
+        self.wal_counter = counter
+        self._finalize(TxnStatus.COMMITTED)
+        yield from self.manager.stabilize(log_name, counter)
+        return counter
+
+    def commit_prepared_async(self) -> Gen:
+        """Resolve a prepared transaction as committed, without waiting
+        for the commit record's stabilization.
+
+        §V-A: "We do not need to wait for the commit entry to be stable
+        to reply to the client" — the (already stable) prepare record and
+        coordinator decision guarantee deterministic re-commit after a
+        crash.  Stabilization still proceeds in the background.
+        """
+        if self.status != TxnStatus.PREPARED:
+            raise TransactionError(
+                "commit_prepared_async on %s transaction" % self.status
+            )
+        writes = self.buffer.items()
+        self.engine.forget_prepared(self.txn_id)
+        counter, log_name = yield from self.manager.group.submit(
+            self.txn_id, writes, None
+        )
+        self.wal_counter = counter
+        self._finalize(TxnStatus.COMMITTED)
+
+        def background_stabilize():
+            yield from self.manager.stabilize(log_name, counter)
+
+        self.runtime.sim.process(background_stabilize(), name="bg-stabilize")
+        return counter
+
+    def abort_prepared(self) -> Gen:
+        """Resolve a prepared transaction as aborted."""
+        if self.status != TxnStatus.PREPARED:
+            raise TransactionError("abort_prepared on %s transaction" % self.status)
+        self.engine.forget_prepared(self.txn_id)
+        yield from self.runtime.op_overhead()
+        self._finalize(TxnStatus.ABORTED)

@@ -1,0 +1,26 @@
+"""Benchmark workloads: YCSB and TPC-C, plus key distributions."""
+
+from .tpcc import (
+    TpccScale,
+    TpccTerminal,
+    load_tpcc,
+    run_tpcc,
+    tpcc_partitioner,
+)
+from .ycsb import YcsbConfig, YcsbWorkload, bulk_load, run_ycsb
+from .zipf import ScrambledZipfianGenerator, UniformGenerator, ZipfianGenerator
+
+__all__ = [
+    "ScrambledZipfianGenerator",
+    "TpccScale",
+    "TpccTerminal",
+    "UniformGenerator",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "bulk_load",
+    "load_tpcc",
+    "run_tpcc",
+    "run_ycsb",
+    "tpcc_partitioner",
+]

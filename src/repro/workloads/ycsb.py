@@ -1,0 +1,158 @@
+"""YCSB workload generator and driver (§VIII-A).
+
+The paper's YCSB configuration: 10 operations per transaction, 1000 B
+values, 10 k unique keys, uniform distribution — with read fractions of
+20 % (write-heavy), 50 % (the 2PC microbenchmark) and 80 % (read-heavy).
+
+The driver runs N concurrent closed-loop clients against the cluster's
+client API and reports committed-transaction throughput and latency
+percentiles through a :class:`~repro.bench.metrics.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..core.cluster import TreatyCluster
+from ..errors import TransactionAborted
+from ..sim.core import Event
+from ..sim.rng import SeededRng
+from .zipf import ScrambledZipfianGenerator, UniformGenerator
+
+__all__ = ["YcsbConfig", "YcsbWorkload", "run_ycsb", "bulk_load"]
+
+Gen = Generator[Event, Any, Any]
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """One YCSB experiment's parameters (defaults: the paper's §VIII-D)."""
+
+    read_proportion: float = 0.5
+    ops_per_txn: int = 10
+    value_size: int = 1000
+    num_keys: int = 10_000
+    distribution: str = "uniform"  # or "zipfian"
+    key_prefix: bytes = b"usertable/"
+    optimistic: bool = False
+
+    def key(self, index: int) -> bytes:
+        return self.key_prefix + b"user%08d" % index
+
+    def value(self, index: int, op: int) -> bytes:
+        seed = b"%d:%d|" % (index, op)
+        reps = self.value_size // len(seed) + 1
+        return (seed * reps)[: self.value_size]
+
+
+class YcsbWorkload:
+    """Generates per-transaction operation lists."""
+
+    def __init__(self, config: YcsbConfig, rng: SeededRng):
+        self.config = config
+        self.rng = rng
+        if config.distribution == "uniform":
+            self._keygen = UniformGenerator(config.num_keys, rng.child("keys"))
+        elif config.distribution == "zipfian":
+            self._keygen = ScrambledZipfianGenerator(
+                config.num_keys, rng.child("keys")
+            )
+        else:
+            raise ValueError("unknown distribution %r" % config.distribution)
+        self._op_counter = 0
+
+    def next_transaction(self) -> List[Tuple[str, bytes, Optional[bytes]]]:
+        """A list of ('read'|'update', key, value_or_None) operations."""
+        ops = []
+        for _ in range(self.config.ops_per_txn):
+            index = self._keygen.next()
+            key = self.config.key(index)
+            if self.rng.random() < self.config.read_proportion:
+                ops.append(("read", key, None))
+            else:
+                self._op_counter += 1
+                ops.append(
+                    ("update", key, self.config.value(index, self._op_counter))
+                )
+        return ops
+
+
+def bulk_load(cluster: TreatyCluster, config: YcsbConfig) -> Gen:
+    """Preload the keyspace directly through each node's engine.
+
+    Load-phase work is not part of any measured figure, so it bypasses
+    the client network (like preloading the store before an experiment).
+    """
+    per_node: List[List[Tuple[bytes, Optional[bytes], int]]] = [
+        [] for _ in cluster.nodes
+    ]
+    for index in range(config.num_keys):
+        key = config.key(index)
+        owner = cluster.partitioner(key)
+        per_node[owner].append((key, config.value(index, 0)))
+    for node, pairs in zip(cluster.nodes, per_node):
+        engine = node.engine
+        batch = [(key, value, engine.next_seq()) for key, value in pairs]
+        # Load in chunks so MemTable flushes interleave realistically.
+        chunk = 500
+        for start in range(0, len(batch), chunk):
+            part = batch[start : start + chunk]
+            yield from engine.log_commit(b"load", part)
+            yield from engine.apply_writes(part)
+
+
+def run_ycsb(
+    cluster: TreatyCluster,
+    config: YcsbConfig,
+    metrics,
+    num_clients: int = 32,
+    duration: float = 2.0,
+    warmup: float = 0.2,
+    max_retries: int = 3,
+) -> None:
+    """Run closed-loop YCSB clients until ``duration`` simulated seconds.
+
+    Clients are spread over three client machines (the testbed's layout)
+    and round-robin across coordinator nodes.  ``metrics`` receives one
+    sample per committed transaction.
+    """
+    machines = [cluster.client_machine() for _ in range(3)]
+    sim = cluster.sim
+    start_time = sim.now
+    end_time = start_time + warmup + duration
+    metrics.measure_from(start_time + warmup)
+
+    def client_loop(client_index: int):
+        machine = machines[client_index % len(machines)]
+        session = cluster.session(machine, coordinator=client_index % cluster.num_nodes)
+        rng = SeededRng(cluster.config.seed, "ycsb-client", str(client_index))
+        workload = YcsbWorkload(config, rng)
+        while sim.now < end_time:
+            ops = workload.next_transaction()
+            txn_start = sim.now
+            committed = False
+            for _attempt in range(max_retries + 1):
+                txn = session.begin(optimistic=config.optimistic)
+                try:
+                    for kind, key, value in ops:
+                        if kind == "read":
+                            yield from txn.get(key)
+                        else:
+                            yield from txn.put(key, value)
+                    yield from txn.commit()
+                    committed = True
+                    break
+                except TransactionAborted:
+                    continue
+            if committed:
+                metrics.record(txn_start, sim.now)
+            else:
+                metrics.record_abort()
+
+    workers = [
+        sim.process(client_loop(i), name="ycsb-client-%d" % i)
+        for i in range(num_clients)
+    ]
+    sim.run(until=end_time)
+    metrics.finish(sim.now)

@@ -1,0 +1,86 @@
+"""Key-distribution generators (YCSB-style).
+
+Implements the standard YCSB generators: uniform, zipfian (Gray et al.'s
+incremental algorithm) and scrambled zipfian (hot keys spread over the
+keyspace).  All are deterministic given a :class:`~repro.sim.SeededRng`.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+
+from ..sim.rng import SeededRng
+
+__all__ = ["UniformGenerator", "ZipfianGenerator", "ScrambledZipfianGenerator"]
+
+ZIPFIAN_CONSTANT = 0.99
+
+
+class UniformGenerator:
+    """Uniform integers in ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: SeededRng):
+        if item_count < 1:
+            raise ValueError("item_count must be >= 1")
+        self.item_count = item_count
+        self.rng = rng
+
+    def next(self) -> int:
+        return self.rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in ``[0, item_count)`` (0 is hottest)."""
+
+    def __init__(
+        self,
+        item_count: int,
+        rng: SeededRng,
+        theta: float = ZIPFIAN_CONSTANT,
+    ):
+        if item_count < 1:
+            raise ValueError("item_count must be >= 1")
+        self.item_count = item_count
+        self.rng = rng
+        self.theta = theta
+        self.zeta_n = self._zeta(item_count, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.zeta_2 = self._zeta(2, theta)
+        if item_count <= 2:
+            # Degenerate keyspaces: the incremental formula divides by
+            # zero at n=2; fall back to uniform choice.
+            self.eta = None
+        else:
+            self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+                1 - self.zeta_2 / self.zeta_n
+            )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        if self.eta is None:
+            return self.rng.randrange(self.item_count)
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.item_count * ((self.eta * u - self.eta + 1) ** self.alpha)
+        )
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread uniformly over the keyspace (YCSB)."""
+
+    def __init__(self, item_count: int, rng: SeededRng):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        digest = sha256(rank.to_bytes(8, "little")).digest()
+        return int.from_bytes(digest[:8], "little") % self.item_count

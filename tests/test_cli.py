@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.profile == "Treaty w/ Enc w/ Stab"
+        assert args.keys == 8
+
+    def test_ycsb_options(self):
+        args = build_parser().parse_args(
+            ["ycsb", "--profile", "DS-RocksDB", "--reads", "0.8",
+             "--clients", "4", "--duration", "0.1", "--distribution", "zipfian"]
+        )
+        assert args.reads == 0.8
+        assert args.distribution == "zipfian"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--profile", "NotAProfile"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "DS-RocksDB" in output
+        assert "rote_latency_mean" in output
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--keys", "3", "--profile", "DS-RocksDB"]) == 0
+        output = capsys.readouterr().out
+        assert "read back" in output
+        assert "value-0" in output
+
+    def test_ycsb_runs_small(self, capsys):
+        code = main(
+            ["ycsb", "--profile", "DS-RocksDB", "--keys", "200",
+             "--clients", "2", "--duration", "0.05"]
+        )
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_tpcc_runs_small(self, capsys):
+        code = main(
+            ["tpcc", "--profile", "DS-RocksDB", "--warehouses", "2",
+             "--clients", "2", "--duration", "0.05"]
+        )
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out

@@ -1,0 +1,179 @@
+"""Tests for the client access layer (sessions, front-end, wire format)."""
+
+import pytest
+
+from repro.config import DS_ROCKSDB, TREATY_ENC, TREATY_FULL
+from repro.core import TreatyCluster
+from repro.errors import TransactionAborted
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return TreatyCluster(profile=TREATY_ENC).start()
+
+
+def test_client_put_get_roundtrip(cluster):
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=0)
+
+    def body():
+        txn = session.begin()
+        yield from txn.put(b"ck1", b"cv1")
+        yield from txn.commit()
+        txn2 = session.begin()
+        value = yield from txn2.get(b"ck1")
+        yield from txn2.commit()
+        return value
+
+    assert cluster.run(body()) == b"cv1"
+    assert session.committed == 2
+
+
+def test_client_read_missing_key(cluster):
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=1)
+
+    def body():
+        txn = session.begin()
+        value = yield from txn.get(b"missing-key")
+        yield from txn.commit()
+        return value
+
+    assert cluster.run(body()) is None
+
+
+def test_client_delete(cluster):
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=0)
+
+    def body():
+        txn = session.begin()
+        yield from txn.put(b"ck-del", b"x")
+        yield from txn.commit()
+        txn = session.begin()
+        yield from txn.delete(b"ck-del")
+        yield from txn.commit()
+        txn = session.begin()
+        value = yield from txn.get(b"ck-del")
+        yield from txn.commit()
+        return value
+
+    assert cluster.run(body()) is None
+
+
+def test_client_rollback(cluster):
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=2)
+
+    def body():
+        txn = session.begin()
+        yield from txn.put(b"ck-rb", b"junk")
+        yield from txn.rollback()
+        check = session.begin()
+        value = yield from check.get(b"ck-rb")
+        yield from check.commit()
+        return value
+
+    assert cluster.run(body()) is None
+
+
+def test_client_transactions_span_shards(cluster):
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=0)
+    keys = [b"span-%04d" % i for i in range(12)]
+    owners = {cluster.partitioner(k) for k in keys}
+    assert len(owners) == 3  # keys really spread over all nodes
+
+    def body():
+        txn = session.begin()
+        for key in keys:
+            yield from txn.put(key, b"v-" + key)
+        yield from txn.commit()
+        check = session.begin()
+        values = []
+        for key in keys:
+            values.append((yield from check.get(key)))
+        yield from check.commit()
+        return values
+
+    assert cluster.run(body()) == [b"v-" + k for k in keys]
+
+
+def test_optimistic_session_single_node():
+    cluster = TreatyCluster(profile=TREATY_ENC, num_nodes=1).start()
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=0)
+
+    def body():
+        txn = session.begin(optimistic=True)
+        yield from txn.put(b"occ-key", b"occ-value")
+        yield from txn.commit()
+        check = session.begin(optimistic=True)
+        value = yield from check.get(b"occ-key")
+        yield from check.commit()
+        return value
+
+    assert cluster.run(body()) == b"occ-value"
+
+
+def test_concurrent_clients_all_commit(cluster):
+    machine = cluster.client_machine()
+    sessions = [cluster.session(machine, coordinator=i % 3) for i in range(9)]
+    done = []
+
+    def worker(session, i):
+        txn = session.begin()
+        yield from txn.put(b"cc-%d" % i, b"v%d" % i)
+        yield from txn.commit()
+        done.append(i)
+
+    for i, session in enumerate(sessions):
+        cluster.sim.process(worker(session, i))
+    cluster.sim.run()
+    assert sorted(done) == list(range(9))
+
+
+def test_aborted_client_txn_raises(cluster):
+    machine = cluster.client_machine()
+    session_a = cluster.session(machine, coordinator=0)
+    session_b = cluster.session(machine, coordinator=1)
+    sim = cluster.sim
+    outcome = {}
+
+    def holder():
+        txn = session_a.begin()
+        yield from txn.put(b"hot-client-key", b"a")
+        yield sim.timeout(2.0)
+        yield from txn.commit()
+
+    def contender():
+        yield sim.timeout(0.1)
+        txn = session_b.begin()
+        try:
+            yield from txn.put(b"hot-client-key", b"b")
+            yield from txn.commit()
+            outcome["result"] = "committed"
+        except TransactionAborted:
+            outcome["result"] = "aborted"
+
+    sim.process(holder())
+    sim.process(contender())
+    sim.run()
+    assert outcome["result"] == "aborted"
+
+
+def test_client_latency_includes_client_network():
+    cluster = TreatyCluster(profile=DS_ROCKSDB).start()
+    machine = cluster.client_machine()
+    session = cluster.session(machine, coordinator=0)
+    start = cluster.sim.now
+
+    def body():
+        txn = session.begin()
+        yield from txn.put(b"lat-key", b"v")
+        yield from txn.commit()
+
+    cluster.run(body())
+    elapsed = cluster.sim.now - start
+    # Two round trips over the 1 GbE client link (>= 4 propagation hops).
+    assert elapsed >= 4 * cluster.config.costs.client_propagation

@@ -1,0 +1,241 @@
+"""Tests for crash recovery, rollback protection and attack detection."""
+
+import pytest
+
+from repro.config import DS_ROCKSDB, TREATY_ENC, TREATY_FULL
+from repro.core import (
+    TreatyCluster,
+    crash_and_recover,
+    rollback_attack,
+    snapshot_node_disk,
+    tamper_attack,
+)
+from repro.core.recovery import find_log_file
+from repro.errors import FreshnessError, IntegrityError, TransactionAborted
+from repro.net import NetworkAdversary
+
+
+def local_keys(cluster, node_index, count=4, tag=b"rk"):
+    keys, i = [], 0
+    while len(keys) < count:
+        key = b"%s-%05d" % (tag, i)
+        if cluster.partitioner(key) == node_index:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def commit_local(cluster, node_index, pairs):
+    def body():
+        txn = cluster.nodes[node_index].coordinator.begin()
+        for key, value in pairs:
+            yield from txn.put(key, value)
+        yield from txn.commit()
+
+    cluster.run(body())
+
+
+def read_local(cluster, node_index, key):
+    def body():
+        txn = cluster.nodes[node_index].coordinator.begin()
+        value = yield from txn.get(key)
+        yield from txn.commit()
+        return value
+
+    return cluster.run(body())
+
+
+class TestCrashRecovery:
+    def test_committed_data_survives_crash(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        keys = local_keys(cluster, 1)
+        commit_local(cluster, 1, [(k, b"v-" + k) for k in keys])
+        cluster.run(crash_and_recover(cluster, 1))
+        for key in keys:
+            assert read_local(cluster, 1, key) == b"v-" + key
+
+    def test_recovered_node_serves_new_transactions(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        keys = local_keys(cluster, 2, tag=b"nw")
+        cluster.run(crash_and_recover(cluster, 2))
+        commit_local(cluster, 2, [(keys[0], b"after-recovery")])
+        assert read_local(cluster, 2, keys[0]) == b"after-recovery"
+
+    def test_distributed_commit_survives_participant_crash(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        spread = {i: local_keys(cluster, i, 1, tag=b"dc")[0] for i in range(3)}
+
+        def body():
+            txn = cluster.nodes[0].coordinator.begin()
+            for key in spread.values():
+                yield from txn.put(key, b"distributed")
+            yield from txn.commit()
+
+        cluster.run(body())
+        cluster.run(crash_and_recover(cluster, 1))
+        for i, key in spread.items():
+            assert read_local(cluster, 0, key) == b"distributed"
+
+    def test_double_crash_recovery(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        keys = local_keys(cluster, 0, tag=b"dd")
+        commit_local(cluster, 0, [(keys[0], b"1")])
+        cluster.run(crash_and_recover(cluster, 0))
+        commit_local(cluster, 0, [(keys[1], b"2")])
+        cluster.run(crash_and_recover(cluster, 0))
+        assert read_local(cluster, 0, keys[0]) == b"1"
+        assert read_local(cluster, 0, keys[1]) == b"2"
+
+    def test_native_profile_recovery_works(self):
+        cluster = TreatyCluster(profile=DS_ROCKSDB).start()
+        keys = local_keys(cluster, 1, tag=b"nv")
+        commit_local(cluster, 1, [(keys[0], b"plain")])
+        cluster.run(crash_and_recover(cluster, 1))
+        assert read_local(cluster, 1, keys[0]) == b"plain"
+
+
+class TestAtomicityAcrossCrashes:
+    def _blocked_commit_cluster(self, drop_predicate):
+        """Run a distributed commit whose messages are partially dropped."""
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        adversary = NetworkAdversary()
+        adversary.drop_matching(drop_predicate)
+        cluster.fabric.adversary = adversary
+        return cluster, adversary
+
+    def test_coordinator_crash_before_decision_aborts(self):
+        """Participants prepared, decision never logged: presumed abort."""
+        cluster, adversary = self._blocked_commit_cluster(
+            lambda f: f.kind == "erpc"
+            and not f.meta.get("is_request")
+            and f.meta.get("req_type") == 3  # drop TXN_PREPARE ACKs
+        )
+        spread = {i: local_keys(cluster, i, 1, tag=b"cc")[0] for i in range(3)}
+
+        def doomed():
+            txn = cluster.nodes[0].coordinator.begin()
+            for key in spread.values():
+                yield from txn.put(key, b"never")
+            yield from txn.commit()  # blocks forever: prepare ACKs dropped
+
+        cluster.sim.process(doomed())
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        # Participants hold prepared transactions now; coordinator crashes.
+        cluster.fabric.adversary = None
+        cluster.crash_node(0)
+        cluster.run(cluster.recover_node(0))
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+
+        # Nothing may be committed anywhere; locks must be free again.
+        for i, key in spread.items():
+            if i == 0:
+                continue
+            assert read_local(cluster, i, key) is None
+        assert read_local(cluster, 0, spread[0]) is None
+
+    def test_participant_crash_after_prepare_commits_on_recovery(self):
+        """Decision=commit logged; participant crashed before TXN_COMMIT."""
+        cluster, adversary = self._blocked_commit_cluster(
+            lambda f: f.kind == "erpc"
+            and f.meta.get("is_request")
+            and f.meta.get("req_type") == 4  # drop TXN_COMMIT to node1
+            and f.dst == "node1"
+        )
+        spread = {i: local_keys(cluster, i, 1, tag=b"pc")[0] for i in range(3)}
+
+        def commit_fiber():
+            txn = cluster.nodes[0].coordinator.begin()
+            for key in spread.values():
+                yield from txn.put(key, b"decided")
+            yield from txn.commit()  # blocks: node1's commit ACK missing
+
+        cluster.sim.process(commit_fiber())
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        # node1 is prepared but never saw the commit; it crashes.
+        cluster.fabric.adversary = None
+        cluster.crash_node(1)
+        cluster.run(cluster.recover_node(1))
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        # Recovery resolved with the coordinator: the write must be there.
+        assert read_local(cluster, 1, spread[1]) == b"decided"
+        assert read_local(cluster, 0, spread[0]) == b"decided"
+
+
+class TestRollbackProtection:
+    def test_rollback_attack_detected(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        keys = local_keys(cluster, 1, tag=b"ra")
+        commit_local(cluster, 1, [(keys[0], b"old")])
+        stale = snapshot_node_disk(cluster, 1)
+        commit_local(cluster, 1, [(keys[1], b"new")])
+        # Let background stabilization finish before the attack.
+        cluster.sim.run(until=cluster.sim.now + 0.1)
+        with pytest.raises(FreshnessError):
+            cluster.run(rollback_attack(cluster, 1, stale))
+
+    def test_rollback_to_empty_disk_detected(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        node = cluster.nodes[2]
+        keys = local_keys(cluster, 2, tag=b"re")
+        empty = snapshot_node_disk(cluster, 2)
+        commit_local(cluster, 2, [(keys[0], b"data")])
+        cluster.sim.run(until=cluster.sim.now + 0.1)
+        with pytest.raises(FreshnessError):
+            cluster.run(rollback_attack(cluster, 2, empty))
+
+    def test_unstable_suffix_discarded_not_flagged(self):
+        """A genuine crash loses un-acknowledged entries: that is not an
+        attack and recovery must succeed."""
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        keys = local_keys(cluster, 1, tag=b"us")
+        commit_local(cluster, 1, [(keys[0], b"acked")])
+        cluster.sim.run(until=cluster.sim.now + 0.1)
+        cluster.run(crash_and_recover(cluster, 1))
+        assert read_local(cluster, 1, keys[0]) == b"acked"
+
+    def test_rollback_not_detected_without_stabilization(self):
+        """The ablation: w/o the stabilization protocol the attack wins."""
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        keys = local_keys(cluster, 1, tag=b"rn")
+        commit_local(cluster, 1, [(keys[0], b"old")])
+        stale = snapshot_node_disk(cluster, 1)
+        commit_local(cluster, 1, [(keys[1], b"new")])
+        cluster.run(rollback_attack(cluster, 1, stale))  # silently succeeds
+        assert read_local(cluster, 1, keys[1]) is None  # data silently lost
+
+
+class TestTamperDetection:
+    @pytest.mark.parametrize("log_kind", ["wal", "manifest"])
+    def test_tampered_log_detected(self, log_kind):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        keys = local_keys(cluster, 1, tag=b"tl")
+        commit_local(cluster, 1, [(keys[0], b"v")])
+        filename = find_log_file(cluster.nodes[1], log_kind)
+        with pytest.raises(IntegrityError):
+            cluster.run(tamper_attack(cluster, 1, filename, offset=30))
+
+    def test_tampered_clog_detected(self):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        spread = {i: local_keys(cluster, i, 1, tag=b"tc")[0] for i in range(3)}
+
+        def body():
+            txn = cluster.nodes[0].coordinator.begin()
+            for key in spread.values():
+                yield from txn.put(key, b"v")
+            yield from txn.commit()
+            yield cluster.sim.timeout(0.05)
+
+        cluster.run(body())
+        filename = find_log_file(cluster.nodes[0], "clog")
+        with pytest.raises(IntegrityError):
+            cluster.run(tamper_attack(cluster, 0, filename, offset=20))
+
+    def test_native_baseline_cannot_detect_tampering(self):
+        cluster = TreatyCluster(profile=DS_ROCKSDB).start()
+        keys = local_keys(cluster, 1, tag=b"tn")
+        commit_local(cluster, 1, [(keys[0], b"v")])
+        filename = find_log_file(cluster.nodes[1], "manifest")
+        # Flip a byte inside the recorded WAL filename: the baseline
+        # recovers "successfully" while silently losing the WAL's data.
+        cluster.run(tamper_attack(cluster, 1, filename, offset=25, xor_mask=0x01))
+        assert read_local(cluster, 1, keys[0]) is None  # silent data loss

@@ -1,0 +1,339 @@
+"""Tests for the secure 2PC protocol: atomicity, isolation, aborts."""
+
+import pytest
+
+from repro.config import DS_ROCKSDB, TREATY_ENC, TREATY_FULL
+from repro.core import TreatyCluster
+from repro.core.twopc import ClogRecord
+from repro.errors import TransactionAborted
+from repro.net import NetworkAdversary
+
+
+def keys_per_node(cluster, count=2, tag=b"k"):
+    """Pick keys that partition onto each node (deterministic)."""
+    result = {i: [] for i in range(len(cluster.nodes))}
+    i = 0
+    while any(len(v) < count for v in result.values()):
+        key = b"%s-%06d" % (tag, i)
+        owner = cluster.partitioner(key)
+        if len(result[owner]) < count:
+            result[owner].append(key)
+        i += 1
+    return result
+
+
+@pytest.fixture(scope="module")
+def full_cluster():
+    return TreatyCluster(profile=TREATY_FULL).start()
+
+
+class TestDistributedCommit:
+    def test_cross_shard_commit_visible_everywhere(self, full_cluster):
+        cluster = full_cluster
+        spread = keys_per_node(cluster, tag=b"a")
+        coordinator = cluster.nodes[0].coordinator
+
+        def body():
+            txn = coordinator.begin()
+            for node_keys in spread.values():
+                yield from txn.put(node_keys[0], b"committed")
+            yield from txn.commit()
+            # Read back through a fresh transaction.
+            check = coordinator.begin()
+            values = []
+            for node_keys in spread.values():
+                values.append((yield from check.get(node_keys[0])))
+            yield from check.commit()
+            return values
+
+        assert cluster.run(body()) == [b"committed"] * 3
+        assert coordinator.distributed_commits >= 1
+
+    def test_single_node_fast_path_skips_clog(self, full_cluster):
+        cluster = full_cluster
+        coordinator = cluster.nodes[1].coordinator
+        local_key = keys_per_node(cluster, tag=b"b")[1][0]
+        clog_before = cluster.nodes[1].clog.last_counter
+
+        def body():
+            txn = coordinator.begin()
+            yield from txn.put(local_key, b"local")
+            yield from txn.commit()
+
+        cluster.run(body())
+        assert cluster.nodes[1].clog.last_counter == clog_before
+        assert coordinator.local_commits >= 1
+
+    def test_distributed_commit_writes_clog_records(self, full_cluster):
+        cluster = full_cluster
+        spread = keys_per_node(cluster, tag=b"c")
+        coordinator = cluster.nodes[2].coordinator
+        clog_before = cluster.nodes[2].clog.last_counter
+
+        def body():
+            txn = coordinator.begin()
+            for node_keys in spread.values():
+                yield from txn.put(node_keys[1], b"v")
+            yield from txn.commit()
+            yield cluster.sim.timeout(0.05)  # let COMPLETE land
+
+        cluster.run(body())
+        # PREPARE + COMMIT + COMPLETE
+        assert cluster.nodes[2].clog.last_counter >= clog_before + 3
+
+    def test_remote_read_returns_committed_value(self, full_cluster):
+        cluster = full_cluster
+        spread = keys_per_node(cluster, tag=b"d")
+        # Write via node0, read via node1's coordinator.
+        key_on_2 = spread[2][0]
+
+        def body():
+            writer = cluster.nodes[0].coordinator.begin()
+            yield from writer.put(key_on_2, b"xyz")
+            yield from writer.commit()
+            reader = cluster.nodes[1].coordinator.begin()
+            value = yield from reader.get(key_on_2)
+            yield from reader.commit()
+            return value
+
+        assert cluster.run(body()) == b"xyz"
+
+    def test_read_your_writes_across_shards(self, full_cluster):
+        cluster = full_cluster
+        spread = keys_per_node(cluster, tag=b"e")
+        key_remote = spread[1][1] if cluster.partitioner(spread[1][1]) != 0 else spread[2][1]
+
+        def body():
+            txn = cluster.nodes[0].coordinator.begin()
+            yield from txn.put(key_remote, b"uncommitted")
+            value = yield from txn.get(key_remote)
+            yield from txn.rollback()
+            return value
+
+        assert cluster.run(body()) == b"uncommitted"
+
+
+class TestAbort:
+    def test_rollback_discards_everywhere(self, full_cluster):
+        cluster = full_cluster
+        spread = keys_per_node(cluster, tag=b"f")
+
+        def body():
+            txn = cluster.nodes[0].coordinator.begin()
+            for node_keys in spread.values():
+                yield from txn.put(node_keys[0] + b"-rb", b"junk")
+            yield from txn.rollback()
+            check = cluster.nodes[0].coordinator.begin()
+            values = []
+            for node_keys in spread.values():
+                values.append((yield from check.get(node_keys[0] + b"-rb")))
+            yield from check.commit()
+            return values
+
+        assert cluster.run(body()) == [None, None, None]
+
+    def test_remote_lock_conflict_aborts_global_txn(self, full_cluster):
+        cluster = full_cluster
+        spread = keys_per_node(cluster, tag=b"g")
+        hot_key = spread[1][0]
+        sim = cluster.sim
+        results = {}
+
+        def holder():
+            txn = cluster.nodes[0].coordinator.begin()
+            yield from txn.put(hot_key, b"holder")
+            yield sim.timeout(1.5)  # hold across the other's lock timeout
+            yield from txn.commit()
+            results["holder"] = "committed"
+
+        def contender():
+            yield sim.timeout(0.05)
+            txn = cluster.nodes[2].coordinator.begin()
+            try:
+                yield from txn.put(hot_key, b"contender")
+                yield from txn.commit()
+                results["contender"] = "committed"
+            except TransactionAborted:
+                results["contender"] = "aborted"
+
+        sim.process(holder())
+        sim.process(contender())
+        sim.run()
+        assert results == {"holder": "committed", "contender": "aborted"}
+
+        def check():
+            txn = cluster.nodes[0].coordinator.begin()
+            value = yield from txn.get(hot_key)
+            yield from txn.commit()
+            return value
+
+        assert cluster.run(check()) == b"holder"
+
+    def test_failed_txn_releases_participant_locks(self, full_cluster):
+        cluster = full_cluster
+        for node in cluster.nodes:
+            assert node.manager.locks.total_locked_keys() == 0
+
+
+class TestConcurrency:
+    def test_concurrent_disjoint_distributed_txns(self):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        sim = cluster.sim
+        committed = []
+
+        def worker(i):
+            coordinator = cluster.nodes[i % 3].coordinator
+            txn = coordinator.begin()
+            for j in range(3):
+                yield from txn.put(b"w%d-%d" % (i, j), b"val-%d" % i)
+            yield from txn.commit()
+            committed.append(i)
+
+        for i in range(15):
+            sim.process(worker(i))
+        sim.run()
+        assert sorted(committed) == list(range(15))
+
+        def check():
+            txn = cluster.nodes[0].coordinator.begin()
+            values = []
+            for i in range(15):
+                values.append((yield from txn.get(b"w%d-0" % i)))
+            yield from txn.commit()
+            return values
+
+        assert cluster.run(check()) == [b"val-%d" % i for i in range(15)]
+
+    def test_atomic_cross_shard_transfer_invariant(self):
+        """Concurrent transfers preserve the total across shards."""
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        sim = cluster.sim
+        accounts = [b"acct-%04d" % i for i in range(8)]
+
+        def setup():
+            txn = cluster.nodes[0].coordinator.begin()
+            for account in accounts:
+                yield from txn.put(account, b"100")
+            yield from txn.commit()
+
+        cluster.run(setup())
+
+        def transfer(i):
+            src = accounts[i % len(accounts)]
+            dst = accounts[(i + 3) % len(accounts)]
+            coordinator = cluster.nodes[i % 3].coordinator
+            txn = coordinator.begin()
+            try:
+                src_balance = yield from txn.get(src)
+                dst_balance = yield from txn.get(dst)
+                yield from txn.put(src, b"%d" % (int(src_balance) - 10))
+                yield from txn.put(dst, b"%d" % (int(dst_balance) + 10))
+                yield from txn.commit()
+            except TransactionAborted:
+                pass
+
+        for i in range(12):
+            sim.process(transfer(i))
+        sim.run()
+
+        def audit():
+            txn = cluster.nodes[0].coordinator.begin()
+            total = 0
+            for account in accounts:
+                balance = yield from txn.get(account)
+                total += int(balance)
+            yield from txn.commit()
+            return total
+
+        assert cluster.run(audit()) == 100 * len(accounts)
+
+
+class TestSecurity:
+    def test_tampered_2pc_message_detected(self):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        adversary = NetworkAdversary()
+
+        def corrupt(frame):
+            data = bytearray(frame.payload)
+            data[len(data) // 2] ^= 0xFF
+            frame.payload = bytes(data)
+            return frame
+
+        adversary.tamper_matching(
+            lambda f: f.kind == "erpc"
+            and f.meta.get("is_request")
+            and f.dst.startswith("node")
+            and not f.dst.endswith(".front")
+            and f.src.startswith("node"),
+            corrupt,
+        )
+        cluster.fabric.adversary = adversary
+        spread = keys_per_node(cluster, tag=b"h")
+        remote_key = spread[1][0]
+
+        from repro.errors import IntegrityError
+
+        def body():
+            txn = cluster.nodes[0].coordinator.begin()
+            yield from txn.put(remote_key, b"v")
+
+        with pytest.raises(IntegrityError):
+            cluster.run(body())
+        assert adversary.tampered >= 1
+
+    def test_duplicated_prepare_not_double_executed(self):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        adversary = NetworkAdversary()
+        adversary.duplicate_matching(
+            lambda f: f.kind == "erpc" and f.meta.get("is_request")
+            and f.meta.get("req_type") == 3  # TXN_PREPARE
+        )
+        cluster.fabric.adversary = adversary
+        spread = keys_per_node(cluster, tag=b"i")
+
+        def body():
+            txn = cluster.nodes[0].coordinator.begin()
+            yield from txn.put(spread[1][0], b"once")
+            yield from txn.put(spread[2][0], b"once")
+            yield from txn.commit()
+            yield cluster.sim.timeout(0.1)
+            check = cluster.nodes[0].coordinator.begin()
+            value = yield from check.get(spread[1][0])
+            yield from check.commit()
+            return value
+
+        assert cluster.run(body()) == b"once"
+        total_rejected = sum(
+            node.cluster_rpc.replay_guard.rejected for node in cluster.nodes
+        )
+        assert total_rejected >= 1
+
+    def test_plaintext_leaks_only_without_encryption(self):
+        """With encryption, key material never crosses the wire in clear."""
+        observed = {"cipher": [], "plain": []}
+
+        def run(profile, bucket):
+            cluster = TreatyCluster(profile=profile).start()
+            adversary = NetworkAdversary()
+
+            def spy(frame):
+                if isinstance(frame.payload, (bytes, bytearray)):
+                    observed[bucket].append(bytes(frame.payload))
+                return [(frame, 0.0)]
+
+            adversary.add_rule(spy)
+            cluster.fabric.adversary = adversary
+            spread = keys_per_node(cluster, tag=b"jj")
+            remote = spread[1][0]
+
+            def body():
+                txn = cluster.nodes[0].coordinator.begin()
+                yield from txn.put(remote, b"SECRETVALUE")
+                yield from txn.commit()
+
+            cluster.run(body())
+
+        run(TREATY_ENC, "cipher")
+        run(DS_ROCKSDB, "plain")
+        assert not any(b"SECRETVALUE" in frame for frame in observed["cipher"])
+        assert any(b"SECRETVALUE" in frame for frame in observed["plain"])

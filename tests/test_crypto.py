@@ -1,0 +1,181 @@
+"""Tests for the crypto layer: AEAD, log chains, key ring, signatures."""
+
+import pytest
+
+from repro.crypto import (
+    Aead,
+    KeyRing,
+    LogChain,
+    SigningKey,
+    derive_key,
+    digest,
+    generate_keypair,
+)
+from repro.crypto.aead import IV_BYTES, KEY_BYTES, MAC_BYTES
+from repro.errors import AuthenticationError, IntegrityError
+
+KEY = bytes(range(32))
+IV = b"\x01" * IV_BYTES
+
+
+class TestAead:
+    def test_roundtrip(self):
+        aead = Aead(KEY)
+        sealed = aead.seal(IV, b"hello world", aad=b"hdr")
+        assert aead.open(sealed, aad=b"hdr") == b"hello world"
+
+    def test_empty_plaintext(self):
+        aead = Aead(KEY)
+        assert aead.open(aead.seal(IV, b"")) == b""
+
+    def test_wire_layout_sizes(self):
+        aead = Aead(KEY)
+        sealed = aead.seal(IV, b"x" * 100)
+        assert len(sealed) == IV_BYTES + 100 + MAC_BYTES
+        assert Aead.sealed_size(100) == len(sealed)
+        assert sealed[:IV_BYTES] == IV
+
+    def test_ciphertext_hides_plaintext(self):
+        aead = Aead(KEY)
+        plaintext = b"secret-value" * 10
+        sealed = aead.seal(IV, plaintext)
+        assert plaintext not in sealed
+
+    @pytest.mark.parametrize("position", [0, IV_BYTES, IV_BYTES + 5, -1])
+    def test_any_bit_flip_detected(self, position):
+        aead = Aead(KEY)
+        sealed = bytearray(aead.seal(IV, b"payload-bytes", aad=b"a"))
+        sealed[position] ^= 0x01
+        with pytest.raises(IntegrityError):
+            aead.open(bytes(sealed), aad=b"a")
+
+    def test_aad_mismatch_detected(self):
+        aead = Aead(KEY)
+        sealed = aead.seal(IV, b"data", aad=b"txn=1")
+        with pytest.raises(IntegrityError):
+            aead.open(sealed, aad=b"txn=2")
+
+    def test_wrong_key_detected(self):
+        sealed = Aead(KEY).seal(IV, b"data")
+        with pytest.raises(IntegrityError):
+            Aead(bytes(32)).open(sealed)
+
+    def test_truncated_blob_detected(self):
+        with pytest.raises(IntegrityError):
+            Aead(KEY).open(b"short")
+
+    def test_distinct_ivs_give_distinct_ciphertexts(self):
+        aead = Aead(KEY)
+        first = aead.seal(b"\x01" * 12, b"same")
+        second = aead.seal(b"\x02" * 12, b"same")
+        assert first[IV_BYTES:] != second[IV_BYTES:]
+
+    def test_key_length_validated(self):
+        with pytest.raises(ValueError):
+            Aead(b"short")
+        with pytest.raises(ValueError):
+            Aead(KEY).seal(b"shortiv", b"data")
+
+
+class TestLogChain:
+    def test_append_then_verify_replay(self):
+        writer = LogChain(KEY)
+        entries = [(i, b"entry-%d" % i) for i in range(10)]
+        tags = [writer.append(counter, body) for counter, body in entries]
+
+        reader = LogChain(KEY)
+        for (counter, body), tag in zip(entries, tags):
+            reader.verify_next(counter, body, tag)
+        assert reader.state.count == 10
+
+    def test_modified_entry_detected(self):
+        writer = LogChain(KEY)
+        tag = writer.append(1, b"original")
+        reader = LogChain(KEY)
+        with pytest.raises(IntegrityError):
+            reader.verify_next(1, b"tampered", tag)
+
+    def test_dropped_entry_detected(self):
+        writer = LogChain(KEY)
+        writer.append(1, b"first")
+        tag2 = writer.append(2, b"second")
+        reader = LogChain(KEY)
+        with pytest.raises(IntegrityError):
+            reader.verify_next(2, b"second", tag2)  # skipped entry 1
+
+    def test_reordered_entries_detected(self):
+        writer = LogChain(KEY)
+        tag1 = writer.append(1, b"first")
+        tag2 = writer.append(2, b"second")
+        reader = LogChain(KEY)
+        with pytest.raises(IntegrityError):
+            reader.verify_next(2, b"second", tag2)
+        reader2 = LogChain(KEY)
+        reader2.verify_next(1, b"first", tag1)  # correct order still fine
+
+    def test_counter_value_is_authenticated(self):
+        writer = LogChain(KEY)
+        tag = writer.append(5, b"body")
+        reader = LogChain(KEY)
+        with pytest.raises(IntegrityError):
+            reader.verify_next(6, b"body", tag)
+
+
+class TestKeys:
+    def test_derivation_is_deterministic_and_labelled(self):
+        root = KEY
+        assert derive_key(root, "a") == derive_key(root, "a")
+        assert derive_key(root, "a") != derive_key(root, "b")
+        assert derive_key(root, "a", "b") != derive_key(root, "b", "a")
+        assert len(derive_key(root, "x")) == KEY_BYTES
+
+    def test_keyring_separates_purposes(self):
+        ring = KeyRing(KEY)
+        assert ring.subkey("network") != ring.subkey("storage")
+        assert ring.log_auth_key("WAL") != ring.log_auth_key("Clog")
+
+    def test_keyring_aead_cached_and_functional(self):
+        ring = KeyRing(KEY)
+        assert ring.network_aead() is ring.network_aead()
+        sealed = ring.storage_aead().seal(IV, b"v")
+        assert ring.storage_aead().open(sealed) == b"v"
+
+    def test_same_root_same_keys_across_nodes(self):
+        assert KeyRing(KEY).subkey("network") == KeyRing(KEY).subkey("network")
+
+    def test_root_length_validated(self):
+        with pytest.raises(ValueError):
+            KeyRing(b"short")
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        signing, verify = generate_keypair(b"seed-material-01", "node1")
+        signature = signing.sign(b"message")
+        verify.verify(b"message", signature)  # no exception
+
+    def test_tampered_message_rejected(self):
+        signing, verify = generate_keypair(b"seed-material-01", "node1")
+        signature = signing.sign(b"message")
+        with pytest.raises(AuthenticationError):
+            verify.verify(b"other", signature)
+
+    def test_cross_key_rejected(self):
+        signing1, _ = generate_keypair(b"seed-material-01", "node1")
+        _, verify2 = generate_keypair(b"seed-material-01", "node2")
+        with pytest.raises(AuthenticationError):
+            verify2.verify(b"m", signing1.sign(b"m"))
+
+    def test_deterministic_keypairs(self):
+        s1, _ = generate_keypair(b"seed", "id")
+        s2, _ = generate_keypair(b"seed", "id")
+        assert s1.sign(b"m") == s2.sign(b"m")
+
+    def test_short_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SigningKey(b"tiny", "x")
+
+
+def test_digest_is_sha256_sized():
+    assert len(digest(b"data")) == 32
+    assert digest(b"a") != digest(b"b")

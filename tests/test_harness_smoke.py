@@ -1,0 +1,39 @@
+"""Smoke tests for the experiment harness (tiny scales)."""
+
+import pytest
+
+from repro.config import DS_ROCKSDB, TREATY_ENC
+from repro.bench.harness import recovery_experiment, twopc_only, bulk_load_null
+from repro.bench.netbench import network_throughput
+
+
+class TestTwopcOnly:
+    def test_runs_and_reports(self):
+        metrics = twopc_only(DS_ROCKSDB, num_clients=6, duration=0.05)
+        assert metrics.committed > 3
+        assert metrics.throughput() > 0
+
+
+class TestRecoveryExperiment:
+    def test_ratio_direction(self):
+        native_seconds, native_bytes = recovery_experiment(
+            DS_ROCKSDB, num_entries=2_000
+        )
+        secure_seconds, secure_bytes = recovery_experiment(
+            TREATY_ENC, num_entries=2_000
+        )
+        assert secure_seconds > native_seconds
+        assert secure_bytes > native_bytes  # IV+MAC framing per entry
+
+
+class TestNetworkThroughput:
+    def test_basic_measurement(self):
+        gbps = network_throughput("tcp-native", 1460, duration=3e-4)
+        assert gbps > 1.0
+
+    def test_udp_zero_above_mtu(self):
+        assert network_throughput("udp-native", 2048, duration=3e-4) == 0.0
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ValueError):
+            network_throughput("carrier-pigeon", 64)

@@ -1,0 +1,282 @@
+"""Tests for the eRPC port, socket stacks and the secure RPC channel."""
+
+import pytest
+
+from repro.config import ClusterConfig, DS_ROCKSDB, TREATY_NO_ENC
+from repro.errors import IntegrityError
+from repro.net import (
+    MsgType,
+    NetworkAdversary,
+    SocketStack,
+    TxMessage,
+)
+from repro.sim import Simulator
+from repro.tee import NodeRuntime
+
+from tests.conftest import NetHarness
+
+
+def echo_handler(payload, src):
+    if False:  # make this a generator without extra cost
+        yield None
+    return payload, len(payload) if isinstance(payload, bytes) else 8
+
+
+class TestErpc:
+    def test_request_response_roundtrip(self, harness):
+        server = harness.endpoints[1]
+        server.register_handler(1, echo_handler)
+
+        def body():
+            reply = yield from harness.endpoints[0].call(
+                "node1", 1, b"ping", 4
+            )
+            return reply.payload
+
+        assert harness.run(body()) == b"ping"
+
+    def test_continuation_event_batching(self, harness):
+        """A coordinator can enqueue N requests before yielding (Fig. 2)."""
+        server = harness.endpoints[1]
+        server.register_handler(1, echo_handler)
+        client = harness.endpoints[0]
+
+        def body():
+            events = [
+                client.enqueue_request("node1", 1, b"m%d" % i, 2) for i in range(5)
+            ]
+            replies = yield harness.sim.all_of(events)
+            return sorted(r.payload for r in replies)
+
+        assert harness.run(body()) == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+
+    def test_handlers_run_concurrently(self):
+        """Two slow handlers overlap instead of serializing."""
+        harness = NetHarness(num_nodes=3)
+
+        def slow_handler(payload, src):
+            yield harness.sim.timeout(1.0)
+            return payload, 4
+
+        harness.endpoints[1].register_handler(1, slow_handler)
+        harness.endpoints[2].register_handler(1, slow_handler)
+        client = harness.endpoints[0]
+
+        def body():
+            events = [
+                client.enqueue_request("node1", 1, b"a", 1),
+                client.enqueue_request("node2", 1, b"b", 1),
+            ]
+            yield harness.sim.all_of(events)
+            return harness.sim.now
+
+        assert harness.run(body()) < 1.5  # not 2.0: they overlapped
+
+    def test_unknown_request_type_ignored(self, harness):
+        client = harness.endpoints[0]
+
+        def body():
+            event = client.enqueue_request("node1", 99, b"x", 1)
+            timeout = harness.sim.timeout(1.0, value="timed-out")
+            winner = yield harness.sim.any_of([event, timeout])
+            return winner.value
+
+        assert harness.run(body()) == "timed-out"
+
+    def test_msgbufs_recycled_from_host_pool(self, harness):
+        server = harness.endpoints[1]
+        server.register_handler(1, echo_handler)
+        client = harness.endpoints[0]
+
+        def body():
+            for _ in range(20):
+                yield from client.call("node1", 1, b"x" * 100, 100)
+
+        harness.run(body())
+        assert client.msgbuf_pool.recycle_rate() > 0.5
+        assert client.runtime.host_memory.used >= 0
+
+    def test_scone_erpc_is_slower_than_native(self):
+        def elapsed(profile):
+            harness = NetHarness(profile=profile)
+            harness.endpoints[1].register_handler(1, echo_handler)
+
+            def body():
+                for _ in range(10):
+                    yield from harness.endpoints[0].call("node1", 1, b"x" * 1000, 1000)
+                return harness.sim.now
+
+            return harness.run(body())
+
+        assert elapsed(TREATY_NO_ENC) > elapsed(DS_ROCKSDB) * 1.5
+
+
+class TestSockets:
+    def make_pair(self, profile=DS_ROCKSDB):
+        harness = NetHarness(profile=profile)
+        tcp_a = SocketStack(harness.runtimes[0], harness.fabric, harness.nics[0], "tcp")
+        return harness, tcp_a
+
+    def test_tcp_send_delivers(self):
+        harness, tcp = self.make_pair()
+
+        def body():
+            ok = yield from tcp.send("node1", 4096, payload=b"bulk")
+            frame = yield harness.nics[1].receive()
+            return ok, frame.payload
+
+        assert harness.run(body()) == (True, b"bulk")
+
+    def test_udp_above_mtu_dropped(self):
+        harness = NetHarness()
+        udp = SocketStack(harness.runtimes[0], harness.fabric, harness.nics[0], "udp")
+
+        def body():
+            ok = yield from udp.send("node1", 2048)
+            return ok
+
+        assert harness.run(body()) is False
+        assert udp.dropped_messages == 1
+
+    def test_udp_below_mtu_delivers(self):
+        harness = NetHarness()
+        udp = SocketStack(harness.runtimes[0], harness.fabric, harness.nics[0], "udp")
+
+        def body():
+            ok = yield from udp.send("node1", 1000, payload=b"dgram")
+            frame = yield harness.nics[1].receive()
+            return ok, frame.payload
+
+        assert harness.run(body()) == (True, b"dgram")
+
+    def test_scone_socket_slower_than_native(self):
+        def one_send(profile):
+            harness = NetHarness(profile=profile)
+            tcp = SocketStack(
+                harness.runtimes[0], harness.fabric, harness.nics[0], "tcp"
+            )
+
+            def body():
+                yield from tcp.send("node1", 4096)
+                return harness.sim.now
+
+            return harness.run(body())
+
+        assert one_send(TREATY_NO_ENC) > one_send(DS_ROCKSDB) * 2
+
+    def test_invalid_protocol_rejected(self):
+        harness = NetHarness()
+        with pytest.raises(ValueError):
+            SocketStack(harness.runtimes[0], harness.fabric, harness.nics[0], "sctp")
+
+
+class TestSecureRpc:
+    def install_echo(self, harness, node=1):
+        def handler(message, src):
+            if False:
+                yield None
+            return TxMessage(
+                MsgType.ACK, message.node_id, message.txn_id, message.op_id,
+                b"echo:" + message.body,
+            )
+
+        harness.secure[node].register(MsgType.TXN_WRITE, handler)
+
+    def request(self, txn_id=1, op_id=1, body=b"put k v"):
+        return TxMessage(MsgType.TXN_WRITE, 0, txn_id, op_id, body)
+
+    def test_roundtrip_encrypted(self, secure_harness):
+        self.install_echo(secure_harness)
+
+        def body():
+            reply = yield from secure_harness.secure[0].call(
+                "node1", self.request()
+            )
+            return reply
+
+        reply = secure_harness.run(body())
+        assert reply.msg_type == MsgType.ACK
+        assert reply.body == b"echo:put k v"
+        assert secure_harness.secure[0].messages_sealed >= 1
+
+    def test_roundtrip_plaintext_profile(self, harness):
+        self.install_echo(harness)
+
+        def body():
+            reply = yield from harness.secure[0].call("node1", self.request())
+            return reply.body
+
+        assert harness.run(body()) == b"echo:put k v"
+        assert harness.secure[0].messages_sealed == 0
+
+    def test_tampered_request_detected(self, secure_harness):
+        self.install_echo(secure_harness)
+        adversary = NetworkAdversary()
+
+        def corrupt(frame):
+            data = bytearray(frame.payload)
+            data[20] ^= 0xFF  # inside the encrypted metadata
+            frame.payload = bytes(data)
+            return frame
+
+        adversary.tamper_matching(lambda f: f.meta.get("is_request", False), corrupt)
+        secure_harness.fabric.adversary = adversary
+
+        def body():
+            yield from secure_harness.secure[0].call("node1", self.request())
+
+        with pytest.raises(IntegrityError):
+            secure_harness.run(body())
+
+    def test_duplicated_request_executes_once(self, secure_harness):
+        executions = []
+
+        def handler(message, src):
+            if False:
+                yield None
+            executions.append(message.op_id)
+            return TxMessage(
+                MsgType.ACK, message.node_id, message.txn_id, message.op_id
+            )
+
+        secure_harness.secure[1].register(MsgType.TXN_WRITE, handler)
+        adversary = NetworkAdversary()
+        adversary.duplicate_matching(lambda f: f.meta.get("is_request", False))
+        secure_harness.fabric.adversary = adversary
+
+        def body():
+            reply = yield from secure_harness.secure[0].call(
+                "node1", self.request(op_id=5)
+            )
+            # Let the duplicate arrive and be rejected.
+            yield secure_harness.sim.timeout(0.01)
+            return reply
+
+        reply = secure_harness.run(body())
+        assert reply.msg_type == MsgType.ACK
+        assert executions == [5]
+        assert secure_harness.secure[1].replay_guard.rejected == 1
+
+    def test_distinct_ivs_used(self, secure_harness):
+        rpc = secure_harness.secure[0]
+        first, _ = rpc._encode(self.request(op_id=1))
+        second, _ = rpc._encode(self.request(op_id=2))
+        assert first[:12] != second[:12]
+
+    def test_encryption_adds_latency(self):
+        def elapsed(harness):
+            self.install_echo(harness)
+
+            def body():
+                yield from harness.secure[0].call(
+                    "node1", self.request(body=b"v" * 4000)
+                )
+                return harness.sim.now
+
+            return harness.run(body())
+
+        from repro.config import TREATY_ENC
+
+        plain = elapsed(NetHarness(profile=TREATY_NO_ENC))
+        encrypted = elapsed(NetHarness(profile=TREATY_ENC))
+        assert encrypted > plain

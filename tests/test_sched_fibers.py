@@ -1,0 +1,160 @@
+"""Tests for the userland fiber scheduler (§VII-C)."""
+
+import pytest
+
+from repro.config import ClusterConfig, DS_ROCKSDB, TREATY_NO_ENC
+from repro.sched import Compute, FiberScheduler, Sleep, Wait, YieldNow
+from repro.sim import Simulator
+from repro.tee import NodeRuntime
+
+
+def make_scheduler(profile=DS_ROCKSDB):
+    sim = Simulator()
+    runtime = NodeRuntime(sim, profile, ClusterConfig())
+    return sim, FiberScheduler(runtime)
+
+
+class TestBasics:
+    def test_single_fiber_runs_to_completion(self):
+        sim, sched = make_scheduler()
+
+        def fiber():
+            yield Compute(1e-6)
+            return "done"
+
+        handle = sched.spawn(fiber())
+        sim.run()
+        assert handle.finished
+        assert handle.result == "done"
+
+    def test_round_robin_interleaving(self):
+        sim, sched = make_scheduler()
+        trace = []
+
+        def fiber(tag):
+            for step in range(3):
+                trace.append((tag, step))
+                yield YieldNow()
+
+        sched.spawn(fiber("a"))
+        sched.spawn(fiber("b"))
+        sim.run()
+        # Strict alternation: a0 b0 a1 b1 a2 b2.
+        assert trace == [
+            ("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)
+        ]
+
+    def test_sleeping_queue_wakes_in_order(self):
+        sim, sched = make_scheduler()
+        wakes = []
+
+        def sleeper(tag, duration):
+            yield Sleep(duration)
+            wakes.append((tag, round(sim.now, 9)))
+
+        sched.spawn(sleeper("late", 3e-3))
+        sched.spawn(sleeper("early", 1e-3))
+        sim.run()
+        assert [tag for tag, _ in wakes] == ["early", "late"]
+        assert wakes[0][1] >= 1e-3
+
+    def test_wait_blocks_until_event(self):
+        sim, sched = make_scheduler()
+        event = sim.event()
+        results = []
+
+        def waiter():
+            value = yield Wait(event)
+            results.append(value)
+
+        sched.spawn(waiter())
+
+        def trigger():
+            yield sim.timeout(0.5)
+            event.succeed("payload")
+
+        sim.process(trigger())
+        sim.run()
+        assert results == ["payload"]
+
+    def test_compute_advances_clock(self):
+        sim, sched = make_scheduler()
+
+        def worker():
+            yield Compute(1.0)
+
+        sched.spawn(worker())
+        sim.run()
+        assert sim.now >= 1.0
+
+    def test_many_fibers_share_one_scheduler(self):
+        sim, sched = make_scheduler()
+        done = []
+
+        def client(i):
+            for _ in range(5):
+                yield Compute(1e-6)
+                yield YieldNow()
+            done.append(i)
+
+        for i in range(64):
+            sched.spawn(client(i))
+        sim.run()
+        assert len(done) == 64
+
+    def test_invalid_op_rejected(self):
+        sim, sched = make_scheduler()
+
+        def bad():
+            yield "not-an-op"
+
+        sched.spawn(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestPaperProperties:
+    def test_switching_fibers_costs_no_syscalls(self):
+        """Context switches between runnable fibers are syscall-free."""
+        sim, sched = make_scheduler(profile=TREATY_NO_ENC)
+
+        def busy(tag):
+            for _ in range(10):
+                yield Compute(1e-6)
+                yield YieldNow()
+
+        sched.spawn(busy("a"))
+        sched.spawn(busy("b"))
+        sim.run()
+        assert sched.context_switches >= 20
+        assert sched.idle_syscalls == 0
+
+    def test_idle_scheduler_pays_syscalls_with_backoff(self):
+        sim, sched = make_scheduler(profile=TREATY_NO_ENC)
+
+        def mostly_sleeping():
+            yield Sleep(5e-3)
+
+        sched.spawn(mostly_sleeping())
+        sim.run()
+        assert sched.idle_syscalls >= 1
+
+    def test_fiber_spawned_while_idle_wakes_scheduler(self):
+        sim, sched = make_scheduler()
+        results = []
+
+        def late_fiber():
+            yield Compute(1e-6)
+            results.append(sim.now)
+
+        def spawner():
+            yield sim.timeout(0.25)
+            sched.spawn(late_fiber())
+
+        def initial():
+            yield Compute(1e-6)
+
+        sched.spawn(initial())
+        sim.process(spawner())
+        sim.run()
+        assert results and results[0] >= 0.25

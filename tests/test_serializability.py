@@ -1,0 +1,165 @@
+"""Conflict-serializability of committed histories.
+
+Runs batches of concurrent transactions, captures each committed
+transaction's read set (key -> version observed) and write set
+(key -> version installed), builds the direct serialization graph
+(ww / wr / rw edges) and asserts it is acyclic — the textbook proof
+obligation for serializability.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig, TREATY_ENC
+from repro.errors import TransactionAborted
+from repro.sim import SeededRng
+
+from tests.conftest import TxnHarness
+
+
+def build_conflict_graph(histories):
+    """histories: list of (txn_name, reads {k: seq}, writes {k: seq}).
+
+    Returns adjacency dict txn -> set(txn).
+    """
+    writers_by_version = {}  # (key, seq) -> txn
+    versions_by_key = {}  # key -> sorted list of (seq, txn)
+    for name, _reads, writes in histories:
+        for key, seq in writes.items():
+            writers_by_version[(key, seq)] = name
+            versions_by_key.setdefault(key, []).append((seq, name))
+    for key in versions_by_key:
+        versions_by_key[key].sort()
+
+    edges = {name: set() for name, _, _ in histories}
+
+    def add_edge(src, dst):
+        if src != dst and src in edges and dst in edges:
+            edges[src].add(dst)
+
+    # ww edges: version order is commit order.
+    for key, versions in versions_by_key.items():
+        for (s1, t1), (s2, t2) in zip(versions, versions[1:]):
+            add_edge(t1, t2)
+    for name, reads, writes in histories:
+        for key, seq in reads.items():
+            # wr: the transaction that installed what we read precedes us.
+            writer = writers_by_version.get((key, seq))
+            if writer is not None:
+                add_edge(writer, name)
+            # rw: we precede the next writer of that key.
+            for version_seq, other in versions_by_key.get(key, ()):
+                if version_seq > seq:
+                    add_edge(name, other)
+                    break
+    return edges
+
+def assert_acyclic(edges):
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+
+    def visit(node, stack):
+        color[node] = GREY
+        stack.append(node)
+        for succ in edges[node]:
+            if color[succ] == GREY:
+                raise AssertionError(
+                    "serializability violated: cycle through %r"
+                    % (stack[stack.index(succ):],)
+                )
+            if color[succ] == WHITE:
+                visit(succ, stack)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in edges:
+        if color[node] == WHITE:
+            visit(node, [])
+
+
+class _Recorder:
+    """Wraps the engine's log_commits to capture installed versions."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.versions = {}  # txn_id -> {key: seq}
+        self._original = engine.log_commits
+        engine.log_commits = self._wrapped
+
+    def _wrapped(self, records):
+        for txn_id, writes in records:
+            self.versions.setdefault(txn_id, {}).update(
+                {key: seq for key, _value, seq in writes}
+            )
+        result = yield from self._original(records)
+        return result
+
+
+def run_random_history(seed, num_txns=40, num_keys=8, optimistic=False):
+    harness = TxnHarness(profile=TREATY_ENC).boot()
+    recorder = _Recorder(harness.engine)
+    rng = SeededRng(seed, "ser")
+    keys = [b"k%02d" % i for i in range(num_keys)]
+    harness.put_all([(key, b"init") for key in keys], txn_id=b"init")
+    histories = []
+    sim = harness.sim
+
+    def worker(index):
+        local_rng = rng.child(str(index))
+        yield sim.timeout(local_rng.random() * 0.002)
+        begin = (
+            harness.manager.begin_optimistic
+            if optimistic
+            else harness.manager.begin_pessimistic
+        )
+        txn = begin()
+        reads = {}
+        try:
+            for _ in range(local_rng.randint(1, 4)):
+                key = local_rng.choice(keys)
+                if local_rng.random() < 0.5:
+                    yield from txn.get(key)
+                    if key in txn.reads:
+                        # (reads served from the txn's own write buffer
+                        # have no version: they are internal, not edges)
+                        reads[key] = txn.reads._reads[key]
+                else:
+                    yield from txn.put(key, b"w%d" % index)
+            yield from txn.commit()
+        except TransactionAborted:
+            return
+        histories.append(
+            (txn.txn_id, dict(reads), recorder.versions.get(txn.txn_id, {}))
+        )
+
+    for index in range(num_txns):
+        sim.process(worker(index))
+    sim.run()
+    return histories
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 2022])
+def test_pessimistic_histories_are_conflict_serializable(seed):
+    histories = run_random_history(seed)
+    assert len(histories) > 5  # enough committed transactions to matter
+    named = [("t%d" % i, r, w) for i, (_, r, w) in enumerate(histories)]
+    assert_acyclic(build_conflict_graph(named))
+
+
+@pytest.mark.parametrize("seed", [3, 9, 77])
+def test_optimistic_histories_are_conflict_serializable(seed):
+    histories = run_random_history(seed, optimistic=True)
+    assert len(histories) > 5
+    named = [("t%d" % i, r, w) for i, (_, r, w) in enumerate(histories)]
+    assert_acyclic(build_conflict_graph(named))
+
+
+def test_graph_checker_detects_cycles():
+    """Self-test: a non-serializable history must be flagged."""
+    histories = [
+        # T1 reads k@0 then writes j@1; T2 reads j@0 then writes k@1.
+        ("T1", {"k": 0}, {"j": 1}),
+        ("T2", {"j": 0}, {"k": 1}),
+    ]
+    edges = build_conflict_graph(histories)
+    with pytest.raises(AssertionError, match="cycle"):
+        assert_acyclic(edges)

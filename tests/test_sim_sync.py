@@ -1,0 +1,193 @@
+"""Tests for simulation synchronization primitives and the CPU pool."""
+
+import pytest
+
+from repro.sim import CpuPool, Gate, Resource, Semaphore, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self, sim):
+        resource = Resource(sim, capacity=2)
+        assert resource.request().triggered
+        assert resource.request().triggered
+        assert not resource.request().triggered
+
+    def test_fifo_ordering_of_waiters(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(tag, hold_time):
+            grant = resource.request()
+            yield grant
+            order.append(tag)
+            yield sim.timeout(hold_time)
+            resource.release()
+
+        for tag in ("a", "b", "c"):
+            sim.process(worker(tag, 1.0))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_without_request_rejected(self, sim):
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_cancel_pending_request(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()  # take the slot
+        pending = resource.request()
+        resource.cancel(pending)
+        resource.release()
+        # The cancelled waiter must be skipped: a new request succeeds.
+        assert resource.request().triggered
+
+    def test_cancel_after_grant_releases_slot(self, sim):
+        resource = Resource(sim, capacity=1)
+        grant = resource.request()
+        assert grant.triggered
+        resource.cancel(grant)  # caller decided too late; slot is returned
+        assert resource.in_use == 0
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+
+        def body():
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(body()) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def producer():
+            yield sim.timeout(2)
+            store.put("late")
+
+        def consumer():
+            item = yield store.get()
+            return (sim.now, item)
+
+        sim.process(producer())
+        assert sim.run_process(consumer()) == (2, "late")
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+
+        def body():
+            items = []
+            for _ in range(5):
+                items.append((yield store.get()))
+            return items
+
+        assert sim.run_process(body()) == [0, 1, 2, 3, 4]
+
+
+class TestGate:
+    def test_waiters_release_in_counter_order(self, sim):
+        gate = Gate(sim)
+        released = []
+
+        def waiter(mark):
+            yield gate.wait_for(mark)
+            released.append((mark, sim.now))
+
+        for mark in (3, 1, 2):
+            sim.process(waiter(mark))
+
+        def advancer():
+            yield sim.timeout(1)
+            gate.advance_to(1)
+            yield sim.timeout(1)
+            gate.advance_to(3)
+
+        sim.process(advancer())
+        sim.run()
+        assert (1, 1) in released
+        assert (2, 2) in released and (3, 2) in released
+
+    def test_wait_for_already_passed_mark(self, sim):
+        gate = Gate(sim, initial=10)
+        assert gate.wait_for(5).triggered
+
+    def test_advance_never_regresses(self, sim):
+        gate = Gate(sim, initial=7)
+        gate.advance_to(3)
+        assert gate.value == 7
+
+
+class TestSemaphore:
+    def test_acquire_release(self, sim):
+        sem = Semaphore(sim, value=1)
+        assert sem.acquire().triggered
+        second = sem.acquire()
+        assert not second.triggered
+        sem.release()
+        sim.run()
+        assert second.triggered
+
+
+class TestCpuPool:
+    def test_serializes_beyond_core_count(self, sim):
+        cpu = CpuPool(sim, cores=2)
+        finished = []
+
+        def worker(tag):
+            yield from cpu.consume(1.0)
+            finished.append((tag, sim.now))
+
+        for tag in range(4):
+            sim.process(worker(tag))
+        sim.run()
+        times = sorted(t for _, t in finished)
+        assert times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_speed_factor_scales_work(self, sim):
+        cpu = CpuPool(sim, cores=1, speed_factor=0.5)
+
+        def worker():
+            yield from cpu.consume(1.0)
+            return sim.now
+
+        assert sim.run_process(worker()) == 2.0
+
+    def test_zero_work_is_free(self, sim):
+        cpu = CpuPool(sim, cores=1)
+
+        def worker():
+            yield from cpu.consume(0.0)
+            return sim.now
+
+        assert sim.run_process(worker()) == 0.0
+
+    def test_utilization_accounting(self, sim):
+        cpu = CpuPool(sim, cores=2)
+
+        def worker():
+            yield from cpu.consume(1.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert cpu.utilization(elapsed=1.0) == pytest.approx(1.0)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            CpuPool(sim, cores=0)
+        with pytest.raises(ValueError):
+            CpuPool(sim, cores=1, speed_factor=0)

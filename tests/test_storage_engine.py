@@ -1,0 +1,290 @@
+"""Tests for the LSM engine: writes, reads, flush, compaction, recovery."""
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel, DS_ROCKSDB, TREATY_ENC
+from repro.errors import IntegrityError, StorageError
+from repro.storage import ManifestEdit, WalRecord
+
+from tests.conftest import StorageHarness
+
+
+def small_config(memtable_limit=4096):
+    return ClusterConfig(memtable_limit_bytes=memtable_limit, block_bytes=512)
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k1", b"v1"), (b"k2", b"v2")])
+        assert harness.get(b"k1") == b"v1"
+        assert harness.get(b"k2") == b"v2"
+
+    def test_missing_key(self):
+        harness = StorageHarness().boot()
+        assert harness.get(b"nope") is None
+
+    def test_delete_via_tombstone(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k", b"v")])
+        harness.put_all([(b"k", None)])
+        assert harness.get(b"k") is None
+
+    def test_overwrite_latest_wins(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k", b"old")])
+        harness.put_all([(b"k", b"new")])
+        assert harness.get(b"k") == b"new"
+
+    def test_seq_numbers_monotonic(self):
+        harness = StorageHarness().boot()
+        assert harness.engine.next_seq() == 1
+        assert harness.engine.next_seq() == 2
+
+    def test_get_with_seq(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k", b"v")])
+        value, seq = harness.run(harness.engine.get_with_seq(b"k"))
+        assert value == b"v" and seq == 1
+        assert harness.run(harness.engine.get_with_seq(b"zz")) == (None, 0)
+
+    def test_double_bootstrap_rejected(self):
+        harness = StorageHarness().boot()
+        with pytest.raises(StorageError):
+            harness.run(harness.engine.bootstrap())
+
+
+class TestFlushAndRead:
+    def test_reads_span_memtable_and_sstables(self):
+        harness = StorageHarness(config=small_config()).boot()
+        for batch in range(6):
+            harness.put_all(
+                [(b"key-%d-%d" % (batch, i), b"x" * 200) for i in range(8)]
+            )
+        assert harness.engine.flush_count >= 1
+        # Keys from the first (flushed) batch and the last (in-memtable).
+        assert harness.get(b"key-0-0") == b"x" * 200
+        assert harness.get(b"key-5-7") == b"x" * 200
+
+    def test_flush_rotates_wal(self):
+        harness = StorageHarness(config=small_config()).boot()
+        first_wal = harness.engine.wal.filename
+        for batch in range(4):
+            harness.put_all([(b"k%d-%d" % (batch, i), b"y" * 300) for i in range(6)])
+        assert harness.engine.wal.filename != first_wal
+
+    def test_flushed_value_overridden_by_newer_memtable(self):
+        harness = StorageHarness(config=small_config()).boot()
+        harness.put_all([(b"target", b"old-value")])
+        harness.run(harness.engine.flush())
+        harness.put_all([(b"target", b"new-value")])
+        assert harness.get(b"target") == b"new-value"
+
+    def test_tombstone_hides_flushed_value(self):
+        harness = StorageHarness(config=small_config()).boot()
+        harness.put_all([(b"target", b"value")])
+        harness.run(harness.engine.flush())
+        harness.put_all([(b"target", None)])
+        assert harness.get(b"target") is None
+
+    def test_flush_empty_memtable_is_noop(self):
+        harness = StorageHarness().boot()
+        harness.run(harness.engine.flush())
+        assert harness.engine.flush_count == 0
+
+    def test_old_wal_deleted_after_grace(self):
+        harness = StorageHarness(config=small_config()).boot()
+        first_wal = harness.engine.wal.filename
+        harness.put_all([(b"k%d" % i, b"z" * 400) for i in range(12)])
+        harness.run(harness.engine.flush())
+        harness.sim.run()  # let the deferred GC fiber run
+        assert not harness.disk.exists(first_wal)
+
+
+class TestCompaction:
+    def test_compaction_triggers_and_preserves_data(self):
+        harness = StorageHarness(config=small_config()).boot()
+        expected = {}
+        for batch in range(10):
+            pairs = [
+                (b"key-%03d" % ((batch * 7 + i) % 40), b"val-%d-%d" % (batch, i))
+                for i in range(8)
+            ]
+            for key, value in pairs:
+                expected[key] = value
+            harness.put_all(pairs)
+            harness.run(harness.engine.flush())
+        assert harness.engine.compaction_count >= 1
+        assert harness.engine.levels.get(1), "L1 should be populated"
+        for key, value in expected.items():
+            assert harness.get(key) == value, key
+
+    def test_compaction_drops_tombstones_at_bottom(self):
+        harness = StorageHarness(config=small_config()).boot()
+        harness.put_all([(b"dead-%d" % i, b"v") for i in range(8)])
+        harness.run(harness.engine.flush())
+        harness.put_all([(b"dead-%d" % i, None) for i in range(8)])
+        harness.run(harness.engine.flush())
+        for _ in range(3):
+            harness.put_all([(b"pad", b"p")])
+            harness.run(harness.engine.flush())
+        harness.run(harness.engine.compact(0))
+        assert harness.get(b"dead-3") is None
+        harness.sim.run()
+
+    def test_obsolete_tables_deleted_after_grace(self):
+        harness = StorageHarness(config=small_config()).boot()
+        for batch in range(5):
+            harness.put_all([(b"k-%d-%d" % (batch, i), b"v" * 300) for i in range(6)])
+            harness.run(harness.engine.flush())
+        harness.sim.run()
+        live = {
+            meta.filename
+            for tables in harness.engine.levels.values()
+            for meta in tables
+        }
+        on_disk = {
+            f for f in harness.disk.list_files("node0/") if "/sst-" in f
+        }
+        assert on_disk == live
+
+
+class TestScan:
+    def test_scan_merges_levels(self):
+        harness = StorageHarness(config=small_config()).boot()
+        harness.put_all([(b"s-%02d" % i, b"old") for i in range(10)])
+        harness.run(harness.engine.flush())
+        harness.put_all([(b"s-%02d" % i, b"new") for i in range(0, 10, 2)])
+        result = harness.run(harness.engine.scan(b"s-00", b"s-05"))
+        assert result == [
+            (b"s-00", b"new"),
+            (b"s-01", b"old"),
+            (b"s-02", b"new"),
+            (b"s-03", b"old"),
+            (b"s-04", b"new"),
+        ]
+
+    def test_scan_excludes_tombstones(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        harness.put_all([(b"b", None)])
+        assert harness.run(harness.engine.scan(b"a", b"z")) == [
+            (b"a", b"1"),
+            (b"c", b"3"),
+        ]
+
+    def test_scan_limit(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k%d" % i, b"v") for i in range(10)])
+        assert len(harness.run(harness.engine.scan(b"k", None, limit=3))) == 3
+
+
+class TestRecovery:
+    def test_recover_memtable_from_wal(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k1", b"v1"), (b"k2", b"v2")])
+        recovered = harness.reopen()
+        assert recovered.get(b"k1") == b"v1"
+        assert recovered.get(b"k2") == b"v2"
+
+    def test_recover_after_flush(self):
+        harness = StorageHarness(config=small_config()).boot()
+        harness.put_all([(b"key-%02d" % i, b"v" * 300) for i in range(12)])
+        harness.run(harness.engine.flush())
+        harness.put_all([(b"after-flush", b"mem-only")])
+        harness.sim.run()
+        recovered = harness.reopen()
+        assert recovered.get(b"key-03") == b"v" * 300
+        assert recovered.get(b"after-flush") == b"mem-only"
+
+    def test_recover_seq_counter_resumes(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        recovered = harness.reopen()
+        assert recovered.engine.next_seq() == 4
+
+    def test_recovered_engine_accepts_new_writes(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"old", b"1")])
+        recovered = harness.reopen()
+        recovered.put_all([(b"new", b"2")])
+        assert recovered.get(b"old") == b"1"
+        assert recovered.get(b"new") == b"2"
+        # And survives a second crash.
+        again = recovered.reopen()
+        assert again.get(b"new") == b"2"
+
+    def test_prepared_txns_recovered(self):
+        harness = StorageHarness().boot()
+
+        def body():
+            writes = [(b"pk", b"pv", harness.engine.next_seq())]
+            yield from harness.engine.log_prepare(b"gtx-1", writes)
+
+        harness.run(body())
+        recovered = harness.reopen()
+        assert b"gtx-1" in recovered.engine.prepared_txns
+        # Prepared but uncommitted: not visible to reads.
+        assert recovered.get(b"pk") is None
+
+    def test_committed_prepare_not_reported(self):
+        harness = StorageHarness().boot()
+
+        def body():
+            writes = [(b"pk", b"pv", harness.engine.next_seq())]
+            yield from harness.engine.log_prepare(b"gtx-1", writes)
+            yield from harness.engine.log_commit(b"gtx-1", writes)
+            yield from harness.engine.apply_writes(writes)
+
+        harness.run(body())
+        recovered = harness.reopen()
+        assert recovered.engine.prepared_txns == {}
+        assert recovered.get(b"pk") == b"pv"
+
+    def test_prepared_txn_survives_flush(self):
+        harness = StorageHarness(config=small_config()).boot()
+
+        def prepare():
+            writes = [(b"pk", b"pv", harness.engine.next_seq())]
+            yield from harness.engine.log_prepare(b"gtx-7", writes)
+
+        harness.run(prepare())
+        harness.put_all([(b"fill-%d" % i, b"x" * 400) for i in range(12)])
+        harness.run(harness.engine.flush())
+        harness.sim.run()
+        recovered = harness.reopen()
+        assert b"gtx-7" in recovered.engine.prepared_txns
+
+    def test_stable_limit_discards_unacked_suffix(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"stable", b"1")])
+        wal_name = harness.engine.wal_log_name
+        harness.put_all([(b"unstable", b"2")])
+        stable = {
+            wal_name: 1,  # only the first record stabilized
+            harness.engine.manifest_log_name: harness.engine.manifest.log.last_counter,
+        }
+        recovered = harness.reopen(stable_counters=stable)
+        assert recovered.get(b"stable") == b"1"
+        assert recovered.get(b"unstable") is None
+
+    def test_tampered_wal_detected_at_recovery(self):
+        harness = StorageHarness().boot()
+        harness.put_all([(b"k", b"v")])
+        harness.disk.tamper(harness.engine.wal.filename, 30)
+        with pytest.raises(IntegrityError):
+            harness.reopen()
+
+    def test_tampered_manifest_detected_at_recovery(self):
+        harness = StorageHarness(config=small_config()).boot()
+        harness.put_all([(b"key-%02d" % i, b"v" * 300) for i in range(12)])
+        harness.run(harness.engine.flush())
+        harness.disk.tamper("node0/MANIFEST", 25)
+        with pytest.raises(IntegrityError):
+            harness.reopen()
+
+    def test_native_recovery_works_without_crypto(self):
+        harness = StorageHarness(profile=DS_ROCKSDB).boot()
+        harness.put_all([(b"k", b"v")])
+        recovered = harness.reopen()
+        assert recovered.get(b"k") == b"v"

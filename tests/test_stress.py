@@ -1,0 +1,162 @@
+"""Randomized stress tests: consistency invariants under concurrency,
+crashes and the full secure stack."""
+
+import pytest
+
+from repro.config import TREATY_ENC, TREATY_FULL
+from repro.core import TreatyCluster, crash_and_recover
+from repro.errors import TransactionAborted
+from repro.sim import SeededRng
+
+
+class TestPairedWritesStayConsistent:
+    """Writers update two keys (on different shards) to the same value
+    inside one transaction; readers must never observe a mixed pair —
+    the classic serializability smoke test."""
+
+    def _pair(self, cluster, index):
+        # Pick two keys on different shards, deterministically.
+        left = b"pair-%03d-a" % index
+        suffix = 0
+        while True:
+            right = b"pair-%03d-b%d" % (index, suffix)
+            if cluster.partitioner(right) != cluster.partitioner(left):
+                return left, right
+            suffix += 1
+
+    def test_readers_never_see_torn_pairs(self):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        sim = cluster.sim
+        pairs = [self._pair(cluster, i) for i in range(4)]
+        rng = SeededRng(11, "stress")
+        violations = []
+        done = {"writers": 0, "reads": 0}
+
+        def setup():
+            txn = cluster.nodes[0].coordinator.begin()
+            for left, right in pairs:
+                yield from txn.put(left, b"0")
+                yield from txn.put(right, b"0")
+            yield from txn.commit()
+
+        cluster.run(setup())
+
+        def writer(worker_id):
+            local_rng = rng.child("w%d" % worker_id)
+            for round_no in range(6):
+                left, right = pairs[local_rng.randrange(len(pairs))]
+                value = b"%d-%d" % (worker_id, round_no)
+                txn = cluster.nodes[worker_id % 3].coordinator.begin()
+                try:
+                    yield from txn.put(left, value)
+                    yield from txn.put(right, value)
+                    yield from txn.commit()
+                except TransactionAborted:
+                    pass
+            done["writers"] += 1
+
+        def reader(worker_id):
+            local_rng = rng.child("r%d" % worker_id)
+            for _ in range(10):
+                left, right = pairs[local_rng.randrange(len(pairs))]
+                txn = cluster.nodes[worker_id % 3].coordinator.begin()
+                try:
+                    left_value = yield from txn.get(left)
+                    right_value = yield from txn.get(right)
+                    yield from txn.commit()
+                except TransactionAborted:
+                    continue
+                done["reads"] += 1
+                if left_value != right_value:
+                    violations.append((left, left_value, right_value))
+
+        for i in range(4):
+            sim.process(writer(i))
+        for i in range(4):
+            sim.process(reader(i))
+        sim.run()
+        assert done["writers"] == 4
+        assert done["reads"] > 10
+        assert violations == []
+
+
+class TestCrashDuringLoad:
+    def test_invariant_survives_crash_under_load(self):
+        cluster = TreatyCluster(profile=TREATY_FULL).start()
+        sim = cluster.sim
+        accounts = [b"acct-%02d" % i for i in range(12)]
+        total = 12 * 100
+
+        def setup():
+            txn = cluster.nodes[0].coordinator.begin()
+            for account in accounts:
+                yield from txn.put(account, b"100")
+            yield from txn.commit()
+
+        cluster.run(setup())
+        stats = {"committed": 0, "aborted": 0}
+
+        def transfer(i):
+            yield sim.timeout(i * 0.004)
+            coordinator = cluster.nodes[i % 3].coordinator
+            if not cluster.nodes[i % 3].is_up:
+                return
+            txn = coordinator.begin()
+            try:
+                src = accounts[i % len(accounts)]
+                dst = accounts[(i * 5 + 1) % len(accounts)]
+                src_val = yield from txn.get(src)
+                dst_val = yield from txn.get(dst)
+                yield from txn.put(src, b"%d" % (int(src_val) - 7))
+                yield from txn.put(dst, b"%d" % (int(dst_val) + 7))
+                yield from txn.commit()
+                stats["committed"] += 1
+            except TransactionAborted:
+                stats["aborted"] += 1
+
+        for i in range(30):
+            sim.process(transfer(i))
+        sim.run(until=sim.now + 0.05)
+        # Crash node 2 while transfers are in flight; recover it.
+        cluster.crash_node(2)
+        sim.run(until=sim.now + 0.2)
+        cluster.run(cluster.recover_node(2))
+        sim.run(until=sim.now + 1.0)
+
+        def audit():
+            txn = cluster.nodes[0].coordinator.begin()
+            values = []
+            for account in accounts:
+                values.append(int((yield from txn.get(account))))
+            yield from txn.commit()
+            return values
+
+        values = cluster.run(audit())
+        assert sum(values) == total
+        assert stats["committed"] > 0
+
+
+class TestDeterminism:
+    def _run_once(self):
+        cluster = TreatyCluster(profile=TREATY_ENC).start()
+        sim = cluster.sim
+        log = []
+
+        def worker(i):
+            txn = cluster.nodes[i % 3].coordinator.begin()
+            try:
+                for j in range(3):
+                    yield from txn.put(b"det-%d-%d" % (i, j), b"v%d" % j)
+                value = yield from txn.get(b"det-%d-0" % ((i + 1) % 6))
+                yield from txn.commit()
+                log.append((i, round(sim.now, 9), value))
+            except TransactionAborted:
+                log.append((i, round(sim.now, 9), "aborted"))
+
+        for i in range(6):
+            sim.process(worker(i))
+        sim.run()
+        return log
+
+    def test_identical_histories_across_runs(self):
+        assert self._run_once() == self._run_once()
