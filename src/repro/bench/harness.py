@@ -41,6 +41,42 @@ def _scaled(quick, full):
     return full if bench_scale() == "full" else quick
 
 
+def _attach_phase_breakdown(metrics: MetricsCollector, cluster) -> None:
+    """Store a cross-node 2PC phase/latency breakdown in ``extra_info``.
+
+    Registry histograms are always live (only the *tracer* is gated on
+    ``ClusterConfig.tracing``), so every bench run gets the breakdown
+    for free.  Aggregates each phase histogram across nodes to
+    ``{count, mean_ms, max_ms}`` plus the enclave counters.
+    """
+    snapshot = cluster.obs.snapshot()
+    phases = {}
+    for name in ("twopc.prepare_s", "twopc.decision_s", "twopc.commit_s",
+                 "stabilize.wait_s", "locks.wait_s"):
+        count, total, peak = 0, 0.0, 0.0
+        for component in snapshot.values():
+            hist = component.get(name)
+            if not isinstance(hist, dict):
+                continue
+            count += hist["total"]
+            total += hist["sum"]
+            if hist["max"] is not None:
+                peak = max(peak, hist["max"])
+        if count:
+            phases[name] = {
+                "count": count,
+                "mean_ms": total / count * 1e3,
+                "max_ms": peak * 1e3,
+            }
+    enclave = {
+        name: sum(
+            component.get(name, 0) for component in snapshot.values()
+        )
+        for name in ("tee.transitions", "tee.page_faults")
+    }
+    metrics.extra_info["obs"] = {"phases": phases, "enclave": enclave}
+
+
 # --- YCSB ---------------------------------------------------------------------
 
 
@@ -69,6 +105,7 @@ def ycsb_distributed(
         duration=duration,
         warmup=duration * 0.25,
     )
+    _attach_phase_breakdown(metrics, cluster)
     return metrics
 
 
@@ -96,6 +133,7 @@ def ycsb_single_node(
         duration=duration,
         warmup=duration * 0.25,
     )
+    _attach_phase_breakdown(metrics, cluster)
     return metrics
 
 
@@ -132,6 +170,7 @@ def tpcc_distributed(
         duration=duration,
         warmup=duration * 0.25,
     )
+    _attach_phase_breakdown(metrics, cluster)
     return metrics
 
 
@@ -151,6 +190,7 @@ def tpcc_single_node(
     _run_tpcc_mode(
         cluster, scale, metrics, num_clients, duration, optimistic=optimistic
     )
+    _attach_phase_breakdown(metrics, cluster)
     return metrics
 
 
@@ -205,7 +245,7 @@ def _run_tpcc_mode(cluster, scale, metrics, num_clients, duration, optimistic):
             if committed:
                 metrics.record(started, sim.now)
             else:
-                metrics.record_abort()
+                metrics.record_abort(started)
 
     for i in range(num_clients):
         sim.process(terminal_loop(i), name="tpcc-occ-%d" % i)
@@ -243,6 +283,7 @@ def twopc_only(
         duration=duration,
         warmup=duration * 0.25,
     )
+    _attach_phase_breakdown(metrics, cluster)
     return metrics
 
 

@@ -18,6 +18,9 @@ class MetricsCollector:
         self.aborted = 0
         self._measure_start: Optional[float] = None
         self._measure_end: Optional[float] = None
+        #: free-form auxiliary data (e.g. obs registry snapshots) carried
+        #: alongside the core samples and included in ``summary()``.
+        self.extra_info: dict = {}
 
     # -- recording ---------------------------------------------------------
     def measure_from(self, start_time: float) -> None:
@@ -30,7 +33,20 @@ class MetricsCollector:
         self.committed += 1
         self.latencies.append(end - start)
 
-    def record_abort(self) -> None:
+    def record_abort(self, start: Optional[float] = None) -> None:
+        """Count one aborted transaction.
+
+        ``start`` is the transaction's begin timestamp; aborts that began
+        during the warm-up window are excluded just like commits, so the
+        abort *rate* compares like with like.  Calls without ``start``
+        are always counted (legacy behaviour).
+        """
+        if (
+            start is not None
+            and self._measure_start is not None
+            and start < self._measure_start
+        ):
+            return
         self.aborted += 1
 
     def finish(self, end_time: float) -> None:
@@ -72,7 +88,7 @@ class MetricsCollector:
         return self.aborted / total
 
     def summary(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "committed": self.committed,
             "aborted": self.aborted,
@@ -82,3 +98,6 @@ class MetricsCollector:
             "p99_ms": self.percentile(99) * 1e3,
             "abort_rate": self.abort_rate(),
         }
+        if self.extra_info:
+            out["extra_info"] = self.extra_info
+        return out

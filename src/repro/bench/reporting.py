@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-__all__ = ["PaperRow", "ComparisonTable", "format_table"]
+__all__ = [
+    "PaperRow",
+    "ComparisonTable",
+    "format_table",
+    "format_phase_breakdown",
+]
 
 
 @dataclass
@@ -43,6 +48,28 @@ def format_table(
             "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def format_phase_breakdown(obs_info: dict) -> str:
+    """Render a harness ``extra_info["obs"]`` phase/enclave breakdown.
+
+    ``obs_info`` is the dict produced by the bench harness: per-phase
+    ``{count, mean_ms, max_ms}`` aggregates plus enclave counters.
+    """
+    rows = [
+        (name, str(stats["count"]), "%.3f" % stats["mean_ms"],
+         "%.3f" % stats["max_ms"])
+        for name, stats in sorted(obs_info.get("phases", {}).items())
+    ]
+    text = format_table(
+        "2PC phase breakdown", ["phase", "count", "mean ms", "max ms"], rows
+    )
+    enclave = obs_info.get("enclave", {})
+    if enclave:
+        text += "\n" + "  ".join(
+            "%s=%s" % (name, enclave[name]) for name in sorted(enclave)
+        )
+    return text
 
 
 class ComparisonTable:

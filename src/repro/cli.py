@@ -6,6 +6,7 @@ Commands:
 * ``demo``   — run a few secure distributed transactions and print stats.
 * ``ycsb``   — run a YCSB experiment (profile/read-mix/clients options).
 * ``tpcc``   — run a TPC-C experiment.
+* ``trace``  — run a workload with tracing on and write a Chrome trace.
 * ``attacks``— run the attack-detection demonstration.
 """
 
@@ -17,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from .config import PROFILES, ClusterConfig, TREATY_FULL
+from .bench.harness import _attach_phase_breakdown
 from .bench.metrics import MetricsCollector
 
 
@@ -40,6 +42,12 @@ def cmd_info(args: argparse.Namespace) -> int:
     costs = ClusterConfig().costs
     for field in dataclasses.fields(costs):
         print("  %-32s %s" % (field.name, getattr(costs, field.name)))
+    print("\nObservability (repro.obs; see docs/OBSERVABILITY.md):")
+    print("  trace categories   twopc stabilize storage net tee node counter")
+    print("  enclave metrics    tee.transitions tee.page_faults")
+    print("                     (per node, in `repro demo` and bench reports)")
+    print("  phase histograms   twopc.prepare_s twopc.decision_s"
+          " twopc.commit_s stabilize.wait_s locks.wait_s")
     return 0
 
 
@@ -68,6 +76,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     coordinator = cluster.nodes[0].coordinator
     print("2PC commits  :", coordinator.distributed_commits)
     print("aborts       :", coordinator.aborts)
+    print("enclave      :")
+    for node in cluster.nodes:
+        stats = node.runtime.enclave.stats()
+        print(
+            "  %-8s transitions=%-6d page_faults=%-8.3f resident=%d B"
+            % (node.name, stats["transitions"], stats["page_faults"],
+               stats["resident_bytes"])
+        )
     return 0
 
 
@@ -88,6 +104,7 @@ def cmd_ycsb(args: argparse.Namespace) -> int:
         num_clients=args.clients, duration=args.duration,
         warmup=args.duration * 0.25,
     )
+    _attach_phase_breakdown(metrics, cluster)
     _print_metrics(metrics)
     return 0
 
@@ -108,7 +125,75 @@ def cmd_tpcc(args: argparse.Namespace) -> int:
         num_clients=args.clients, duration=args.duration,
         warmup=args.duration * 0.25,
     )
+    _attach_phase_breakdown(metrics, cluster)
     _print_metrics(metrics)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .core import TreatyCluster
+    from .obs import write_chrome_trace, write_jsonl
+
+    profile = PROFILES[args.profile]
+    config = ClusterConfig(tracing=True, seed=args.seed)
+    if args.workload == "tpcc":
+        from .workloads import TpccScale, load_tpcc, run_tpcc, tpcc_partitioner
+
+        scale = TpccScale(warehouses=3)
+        cluster = TreatyCluster(
+            profile=profile, config=config, partitioner=tpcc_partitioner(3)
+        ).start()
+        cluster.run(load_tpcc(cluster, scale), name="load")
+        metrics = MetricsCollector(profile.name)
+        run_tpcc(
+            cluster, scale, metrics,
+            num_clients=args.clients, duration=args.duration,
+        )
+    elif args.workload == "ycsb":
+        from .workloads import YcsbConfig, bulk_load, run_ycsb
+
+        ycsb = YcsbConfig(read_proportion=0.5, num_keys=1_000)
+        cluster = TreatyCluster(profile=profile, config=config).start()
+        cluster.run(bulk_load(cluster, ycsb), name="load")
+        metrics = MetricsCollector(profile.name)
+        run_ycsb(
+            cluster, ycsb, metrics,
+            num_clients=args.clients, duration=args.duration,
+        )
+    else:  # demo: a few multi-shard transactions plus a crash/recovery
+        from .core import crash_and_recover
+
+        cluster = TreatyCluster(profile=profile, config=config).start()
+
+        def body():
+            for round_num in range(4):
+                txn = cluster.session(cluster.client_machine()).begin()
+                for i in range(6):
+                    yield from txn.put(
+                        b"trace-%d-%04d" % (round_num, i), b"v%d" % i
+                    )
+                yield from txn.commit()
+            yield from crash_and_recover(cluster, 1)
+
+        cluster.run(body())
+
+    records = cluster.obs.records()
+    write_chrome_trace(records, args.out)
+    if args.jsonl:
+        write_jsonl(records, args.jsonl)
+    categories = sorted({rec["cat"] for rec in records})
+    spans = sum(1 for rec in records if rec["type"] == "span")
+    print("workload     :", args.workload)
+    print("profile      :", profile.name)
+    print("sim time     : %.1f ms" % (cluster.sim.now * 1e3))
+    print("records      : %d (%d spans, %d events)"
+          % (len(records), spans, len(records) - spans))
+    print("categories   :", " ".join(categories))
+    print("trace        :", args.out)
+    if args.jsonl:
+        print("jsonl        :", args.jsonl)
+    print()
+    print(cluster.obs.summary(title="registry snapshot"))
     return 0
 
 
@@ -138,6 +223,10 @@ def _print_metrics(metrics: MetricsCollector) -> None:
     print("p99 latency  : %.2f ms" % summary["p99_ms"])
     print("committed    : %d   aborted: %d"
           % (summary["committed"], summary["aborted"]))
+    if "obs" in metrics.extra_info:
+        from .bench.reporting import format_phase_breakdown
+
+        print(format_phase_breakdown(metrics.extra_info["obs"]))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -173,6 +262,23 @@ def build_parser() -> argparse.ArgumentParser:
     tpcc.add_argument("--clients", type=int, default=10)
     tpcc.add_argument("--duration", type=float, default=0.5)
     tpcc.set_defaults(func=cmd_tpcc)
+
+    trace = subparsers.add_parser(
+        "trace", help="run a workload under the tracer, write a Chrome trace"
+    )
+    _add_profile_argument(trace)
+    trace.add_argument(
+        "--workload", default="ycsb", choices=["ycsb", "tpcc", "demo"]
+    )
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event output path")
+    trace.add_argument("--jsonl", default=None,
+                       help="also write raw records as JSON lines")
+    trace.add_argument("--clients", type=int, default=8)
+    trace.add_argument("--duration", type=float, default=0.05,
+                       help="simulated seconds of workload")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=cmd_trace)
 
     attacks = subparsers.add_parser(
         "attacks", help="attack-detection demonstration"

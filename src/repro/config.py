@@ -14,7 +14,7 @@ paper, which is also how the paper reports its results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = [
     "Runtime",
@@ -264,5 +264,13 @@ class ClusterConfig:
     #: page cache — Treaty's choice, §V-A) or "spdk" (SPEICHER's
     #: userspace direct I/O: no syscalls, but no page cache either).
     storage_io: str = "syscall"
+    #: retain structured trace records (repro.obs) for export; off by
+    #: default so hot paths stay on the null-tracer fast path.
+    tracing: bool = False
+    #: run the online 2PC invariant monitor (repro.obs.monitor) against
+    #: the live event stream.  ``None`` defers to the process-wide
+    #: default (``repro.obs.enable_monitor_by_default``, which the test
+    #: suite turns on); True/False force it for this cluster.
+    monitor: Optional[bool] = None
     seed: int = 2022
     costs: CostModel = field(default_factory=CostModel)

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 from ..config import ClusterConfig, EnvProfile, TREATY_FULL
 from ..crypto.keys import KeyRing, derive_key
 from ..net.simnet import Fabric
+from ..obs import Observability, monitor_enabled_by_default
 from ..sim.core import Simulator
 from ..tee.attestation import IntelAttestationService
 from ..tee.runtime import NodeRuntime
@@ -55,7 +56,20 @@ class TreatyCluster:
             self.config = _replace(self.config, counter_quorum=num_nodes)
         self.profile = profile
         self.sim = Simulator()
+        # Observability goes in before any component is built so that
+        # everything caching ``tracer_of(sim)`` at construction sees it.
+        self.obs = Observability(
+            self.sim,
+            tracing=self.config.tracing,
+            monitor=(
+                self.config.monitor
+                if self.config.monitor is not None
+                else monitor_enabled_by_default()
+            ),
+            require_stabilization=profile.stabilization,
+        )
         self.fabric = Fabric(self.sim, mtu=self.config.costs.net_mtu)
+        self.obs.hub.add("fabric", self.fabric.metrics)
         seed_bytes = self.config.seed.to_bytes(8, "little") * 4
         self._manufacturer_seed = derive_key(seed_bytes, "manufacturer")
         self._root_key = derive_key(seed_bytes, "cluster-root")
@@ -67,7 +81,9 @@ class TreatyCluster:
         }
         self.partitioner = partitioner or hash_partitioner(num_nodes)
         # The CAS runs on a node in the network (its own enclave runtime).
-        self._cas_runtime = NodeRuntime(self.sim, profile, self.config)
+        self._cas_runtime = NodeRuntime(self.sim, profile, self.config,
+                                        name="cas")
+        self.obs.hub.add("cas", self._cas_runtime.metrics)
         self.cas = ConfigurationService(
             self._cas_runtime,
             self.ias,

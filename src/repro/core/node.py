@@ -107,7 +107,13 @@ class TreatyNode:
     # -- construction ------------------------------------------------------------
     def _build(self, credentials: NodeCredentials) -> None:
         self.boot_count += 1
-        self.runtime = NodeRuntime(self.sim, self.profile, self.config)
+        self.runtime = NodeRuntime(
+            self.sim, self.profile, self.config, name=self.name
+        )
+        if self.sim.obs is not None:
+            # Re-registering after recovery replaces the dead runtime's
+            # registry in the hub.
+            self.sim.obs.hub.add(self.name, self.runtime.metrics)
         self.keyring = credentials.keyring()
         cluster_nic = self.fabric.attach(
             self.cluster_address,
@@ -272,6 +278,8 @@ class TreatyNode:
 
     def crash(self) -> None:
         """Fail-stop: lose everything volatile, keep the disk (§III)."""
+        if self.sim.tracer is not None:
+            self.sim.tracer.event("node", "crash", node=self.name)
         self.fabric.detach(self.cluster_address)
         self.fabric.detach(self.front_address)
         self.is_up = False
@@ -320,7 +328,7 @@ class TreatyNode:
         # commits whose completion was never recorded.
         seen_prepares: Dict[bytes, ClogRecord] = {}
         incomplete_commits: Dict[bytes, ClogRecord] = {}
-        for _counter, payload in clog_entries:
+        for counter, payload in clog_entries:
             record = ClogRecord.decode(payload)
             key = record.gid.encode()
             if record.kind == ClogRecord.PREPARE:
@@ -328,7 +336,7 @@ class TreatyNode:
             elif record.kind == ClogRecord.COMPLETE:
                 incomplete_commits.pop(key, None)
             else:
-                self.coordinator.decisions[key] = record.kind
+                self.coordinator.decisions[key] = (record.kind, counter)
                 seen_prepares.pop(key, None)
                 if record.kind == ClogRecord.COMMIT:
                     incomplete_commits[key] = record
@@ -358,6 +366,12 @@ class TreatyNode:
                 self._redrive_commit(record), name="re-commit@%s" % self.name
             )
         self.is_up = True
+        if self.sim.tracer is not None:
+            self.sim.tracer.event(
+                "node", "recover_done", node=self.name,
+                prepared=sorted(txn_id.hex() for txn_id in prepared_ids),
+                redriven=len(incomplete_commits),
+            )
         return state
 
     # -- recovery helpers ---------------------------------------------------------
@@ -384,7 +398,9 @@ class TreatyNode:
         """Ask the coordinator how a recovered prepared txn was decided."""
         gid = GlobalTxnId.decode(txn_id)
         if gid.node_id == self.numeric_id:
-            decision = self.coordinator.decisions.get(txn_id, ClogRecord.ABORT)
+            decision, _ = self.coordinator.decisions.get(
+                txn_id, (ClogRecord.ABORT, 0)
+            )
             commit = decision == ClogRecord.COMMIT
         else:
             reply = yield from self.cluster_rpc.call(
@@ -397,6 +413,11 @@ class TreatyNode:
             yield from txn.commit_prepared_async()
         else:
             yield from txn.abort_prepared()
+        if self.sim.tracer is not None:
+            self.sim.tracer.event(
+                "twopc", "prepared_resolved", node=self.name,
+                txn=txn_id.hex(), outcome="commit" if commit else "abort",
+            )
 
     def _abort_undecided(self, record: ClogRecord) -> Gen:
         counter = yield from self.coordinator.log_clog(
@@ -410,7 +431,15 @@ class TreatyNode:
 
         Participants that already committed ignore the message; ones
         that recovered with the transaction still prepared commit it.
+        The decision entry may sit in the replayed Clog's unstable
+        suffix (the pre-crash coordinator logged it but died before
+        stabilizing), so it is stabilized before any participant is
+        told to commit.
         """
+        if self.profile.stabilization:
+            yield from self.stabilizer(
+                self.clog.log_name, self.clog.last_counter
+            )
         yield from self._broadcast_resolution(MsgType.TXN_COMMIT, record)
 
     def _broadcast_resolution(self, msg_type: int, record: ClogRecord) -> Gen:

@@ -29,6 +29,7 @@ class Stabilizer:
     def __init__(self, runtime: NodeRuntime, counter_client: Optional[CounterClient]):
         self.runtime = runtime
         self.counter_client = counter_client
+        self.tracer = runtime.tracer
         self.waits = 0
         self.total_wait_time = 0.0
 
@@ -43,9 +44,17 @@ class Stabilizer:
         if not self.enabled or counter <= 0:
             return
         start = self.runtime.now
+        span = self.tracer.span(
+            "stabilize", "wait", node=self.runtime.name or None,
+            log=log_name, counter=counter,
+        )
         yield from self.counter_client.stabilize(log_name, counter)
+        span.close()
         self.waits += 1
         self.total_wait_time += self.runtime.now - start
+        self.runtime.metrics.histogram("stabilize.wait_s").observe(
+            self.runtime.now - start
+        )
 
     def background(self, log_name: str, counter: int) -> None:
         """Fire-and-forget stabilization (commit records, GC edits)."""

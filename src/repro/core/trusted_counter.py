@@ -72,6 +72,7 @@ class CounterReplica:
         self.sealing_key = sealing_key
         self.node_name = node_name
         self.rng = rng or SeededRng(0, node_name, "counter-replica")
+        self.tracer = runtime.tracer
         #: tentative (echoed) and confirmed counter values per log.
         self.echoed: Dict[str, int] = {}
         self.confirmed: Dict[str, int] = {}
@@ -138,6 +139,10 @@ class CounterReplica:
             )
         if value > self.confirmed.get(log_name, 0):
             self.confirmed[log_name] = value
+            self.tracer.event(
+                "counter", "confirm", node=self.node_name,
+                replica=self.node_name, log=log_name, value=value,
+            )
             yield from self.seal_state()
         return TxMessage(
             MsgType.ACK, message.node_id, message.txn_id, message.op_id
@@ -164,6 +169,10 @@ class CounterReplica:
     def local_confirm(self, log_name: str, value: int) -> Gen:
         if value > self.confirmed.get(log_name, 0):
             self.confirmed[log_name] = value
+            self.tracer.event(
+                "counter", "confirm", node=self.node_name,
+                replica=self.node_name, log=log_name, value=value,
+            )
             yield from self.seal_state()
 
 
@@ -186,6 +195,7 @@ class CounterClient:
         self.peers = peers  # other group members' addresses
         self.quorum = quorum
         self.node_numeric_id = node_numeric_id
+        self.tracer = runtime.tracer
         #: boot epoch: distinguishes operation ids across restarts so the
         #: peers' replay guards do not reject a recovered node's traffic.
         self.epoch = epoch
@@ -247,6 +257,12 @@ class CounterClient:
                     continue
                 retries = 0
                 gate.advance_to(target)
+                # The monitor learns stability from this event alone —
+                # it fires only after a genuine quorum confirm.
+                self.tracer.event(
+                    "stabilize", "advance", node=self.replica.node_name,
+                    log=log_name, value=target,
+                )
         finally:
             self._round_active[log_name] = False
 
@@ -342,5 +358,11 @@ class CounterClient:
         if len(values) < self.quorum:
             raise FreshnessError("cannot reach counter quorum for recovery")
         freshest = max(values)
-        self._gate(log_name).advance_to(freshest)
+        gate = self._gate(log_name)
+        if freshest > gate.value:
+            gate.advance_to(freshest)
+            self.tracer.event(
+                "stabilize", "advance", node=self.replica.node_name,
+                log=log_name, value=freshest,
+            )
         return freshest

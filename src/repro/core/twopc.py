@@ -167,6 +167,8 @@ class Participant:
         self.manager = manager
         self.rpc = rpc
         self.stabilize = stabilize
+        self.tracer = runtime.tracer
+        self.node = runtime.name or None
         #: participant-local halves of distributed transactions.
         self.active: Dict[bytes, PessimisticTxn] = {}
         self.prepares_served = 0
@@ -254,6 +256,10 @@ class Participant:
             # "Participants delay replying back to the coordinator until
             # the prepare entry in the log is stabilized."
             yield from self.stabilize(log_name, counter)
+        self.tracer.event(
+            "twopc", "prepare_ack", node=self.node,
+            txn=gid.encode().hex(), log=log_name, counter=counter,
+        )
         return self._ack(message)
 
     def _on_commit(self, message: TxMessage, src: str) -> Gen:
@@ -265,6 +271,9 @@ class Participant:
             return self._ack(message)
         yield from txn.commit_prepared_async()
         self.commits_served += 1
+        self.tracer.event(
+            "twopc", "commit_apply", node=self.node, txn=gid.encode().hex()
+        )
         return self._ack(message)
 
     def _on_abort(self, message: TxMessage, src: str) -> Gen:
@@ -275,6 +284,10 @@ class Participant:
                 yield from txn.abort_prepared()
             else:
                 yield from txn.rollback()
+            self.tracer.event(
+                "twopc", "abort_apply", node=self.node,
+                txn=gid.encode().hex(),
+            )
         return self._ack(message)
 
 
@@ -301,9 +314,11 @@ class Coordinator:
         self.addresses = addresses  # numeric node id -> cluster address
         self.partitioner = partitioner
         self.stabilize = stabilize
+        self.tracer = runtime.tracer
+        self.node = runtime.name or None
         self.allocator = TxnIdAllocator(node_numeric_id, epoch)
-        #: decisions recorded in the Clog (commit/abort) by transaction.
-        self.decisions: Dict[bytes, int] = {}
+        #: decisions recorded in the Clog: gid -> (kind, clog counter).
+        self.decisions: Dict[bytes, Tuple[int, int]] = {}
         self.distributed_commits = 0
         self.local_commits = 0
         self.aborts = 0
@@ -317,7 +332,13 @@ class Coordinator:
     def log_clog(self, record: ClogRecord) -> Gen:
         counter = yield from self.clog.append(record.encode())
         if record.kind in (ClogRecord.COMMIT, ClogRecord.ABORT):
-            self.decisions[record.gid.encode()] = record.kind
+            self.decisions[record.gid.encode()] = (record.kind, counter)
+            self.tracer.event(
+                "twopc", "decision", node=self.node,
+                txn=record.gid.encode().hex(),
+                kind="commit" if record.kind == ClogRecord.COMMIT else "abort",
+                log=self.clog.log_name, counter=counter,
+            )
         return counter
 
     # -- recovery support ------------------------------------------------------------
@@ -329,7 +350,17 @@ class Coordinator:
         """
         yield from self.runtime.op_overhead()
         gid_bytes = GlobalTxnId(message.node_id, message.txn_id).encode()
-        decision = self.decisions.get(gid_bytes, ClogRecord.ABORT)
+        decision, decision_counter = self.decisions.get(
+            gid_bytes, (ClogRecord.ABORT, 0)
+        )
+        if decision == ClogRecord.COMMIT and self.runtime.profile.stabilization:
+            # The decision entry may sit in the unstable Clog suffix
+            # (coordinator crashed between logging and stabilizing it);
+            # a participant must not commit on an unprotected decision.
+            # Only the decision's own entry matters — waiting on later
+            # records (e.g. a COMPLETE mid-stabilization) would hold the
+            # participant's locks past unrelated work.
+            yield from self.stabilize(self.clog.log_name, decision_counter)
         verdict = b"commit" if decision == ClogRecord.COMMIT else b"abort"
         return TxMessage(
             MsgType.TXN_RESOLVE_REPLY,
@@ -505,9 +536,17 @@ class GlobalTxn:
 
     def _commit_distributed(self) -> Gen:
         coordinator = self.coordinator
+        tracer = coordinator.tracer
+        metrics = self.runtime.metrics
+        txn_hex = self.gid.encode().hex()
         participants = sorted(self.remote_participants)
         record_participants = participants + (
             [coordinator.node_numeric_id] if self._local_txn is not None else []
+        )
+        phase_start = self.runtime.now
+        span = tracer.span(
+            "twopc", "prepare", node=coordinator.node, txn=txn_hex,
+            participants=len(participants),
         )
         # 5: log the prepare intent to the Clog with its trusted counter.
         prepare_counter = yield from coordinator.log_clog(
@@ -544,7 +583,15 @@ class GlobalTxn:
             )
             for event in events
         )
+        span.close(vote="commit" if vote_commit else "abort")
+        metrics.histogram("twopc.prepare_s").observe(
+            self.runtime.now - phase_start
+        )
         # 6-7: log + stabilize the decision before acting on it.
+        phase_start = self.runtime.now
+        span = tracer.span(
+            "twopc", "decision_log", node=coordinator.node, txn=txn_hex
+        )
         decision_kind = ClogRecord.COMMIT if vote_commit else ClogRecord.ABORT
         decision_counter = yield from coordinator.log_clog(
             ClogRecord(decision_kind, self.gid, record_participants)
@@ -553,20 +600,42 @@ class GlobalTxn:
             yield from coordinator.stabilize(
                 coordinator.clog.log_name, decision_counter
             )
+        span.close()
+        metrics.histogram("twopc.decision_s").observe(
+            self.runtime.now - phase_start
+        )
+        phase_start = self.runtime.now
         if not vote_commit:
+            span = tracer.span(
+                "twopc", "abort", node=coordinator.node, txn=txn_hex
+            )
             yield from self._broadcast_resolution(MsgType.TXN_ABORT, participants)
             if self._local_txn is not None:
                 if self._local_txn.status == TxnStatus.PREPARED:
                     yield from self._local_txn.abort_prepared()
                 else:
                     yield from self._local_txn.rollback()
+                tracer.event(
+                    "twopc", "abort_apply", node=coordinator.node, txn=txn_hex
+                )
+            span.close()
             self.status = TxnStatus.ABORTED
             coordinator.aborts += 1
             raise TransactionAborted("a participant failed to prepare")
         # Commit phase: no stabilization wait needed before replying.
+        span = tracer.span(
+            "twopc", "commit", node=coordinator.node, txn=txn_hex
+        )
         yield from self._broadcast_resolution(MsgType.TXN_COMMIT, participants)
         if self._local_txn is not None:
             yield from self._local_txn.commit_prepared_async()
+            tracer.event(
+                "twopc", "commit_apply", node=coordinator.node, txn=txn_hex
+            )
+        span.close()
+        metrics.histogram("twopc.commit_s").observe(
+            self.runtime.now - phase_start
+        )
         self.status = TxnStatus.COMMITTED
         coordinator.distributed_commits += 1
 
@@ -590,6 +659,10 @@ class GlobalTxn:
             return False
         if self.runtime.profile.stabilization:
             yield from self.coordinator.stabilize(log_name, counter)
+        self.coordinator.tracer.event(
+            "twopc", "prepare_ack", node=self.coordinator.node,
+            txn=self.gid.encode().hex(), log=log_name, counter=counter,
+        )
         return True
 
     def _broadcast_resolution(self, msg_type: int, participants: List[int]) -> Gen:

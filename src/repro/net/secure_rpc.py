@@ -20,6 +20,7 @@ from typing import Any, Callable, Generator, Tuple
 
 from ..crypto.keys import KeyRing
 from ..errors import ReplayError
+from ..obs.registry import SIZE_BUCKETS_BYTES
 from ..sim.core import Event
 from ..tee.runtime import NodeRuntime
 from .erpc import ErpcEndpoint
@@ -49,6 +50,13 @@ class SecureRpc:
         self._iv_seq = itertools.count(1)
         self.messages_sealed = 0
         self.auth_failures = 0
+        self.tracer = runtime.tracer
+        # Shared across this runtime's RPC endpoints (cluster + front).
+        self._sealed_counter = runtime.metrics.counter("net.messages_sealed")
+        self._auth_fail_counter = runtime.metrics.counter("net.auth_failures")
+        self._wire_hist = runtime.metrics.histogram(
+            "net.wire_bytes", SIZE_BUCKETS_BYTES
+        )
 
     # -- encoding -----------------------------------------------------------
     @property
@@ -63,10 +71,13 @@ class SecureRpc:
         """Produce wire bytes + size, sealing when the profile encrypts."""
         if self._encrypted:
             self.messages_sealed += 1
+            self._sealed_counter.inc()
             wire = message.seal(self._aead, self._next_iv())
         else:
             wire = message.encode()
-        return wire, wire_size(len(message.body), self._encrypted)
+        nbytes = wire_size(len(message.body), self._encrypted)
+        self._wire_hist.observe(nbytes)
+        return wire, nbytes
 
     def _decode(self, wire: bytes) -> TxMessage:
         if self._encrypted:
@@ -102,6 +113,11 @@ class SecureRpc:
     def _exchange(
         self, dst: str, message: TxMessage, outcome: Event, express: bool = False
     ):
+        span = self.tracer.span(
+            "net", "rpc", node=self.runtime.name or None,
+            dst=dst, msg_type=message.msg_type,
+        )
+        nbytes = 0
         try:
             wire, nbytes = self._encode(message)
             if self._encrypted:
@@ -120,9 +136,11 @@ class SecureRpc:
                 yield from self.runtime.seal_cost(reply.nbytes)
             decoded = self._decode(reply.payload)
         except Exception as exc:  # noqa: BLE001 - propagate to the waiter
+            span.close(bytes=nbytes, error=type(exc).__name__)
             if not outcome.triggered:
                 outcome.fail(exc)
             return
+        span.close(bytes=nbytes)
         if not outcome.triggered:
             outcome.succeed(decoded)
 
@@ -137,6 +155,11 @@ class SecureRpc:
                 message = self._decode(payload)
             except Exception:
                 self.auth_failures += 1
+                self._auth_fail_counter.inc()
+                self.tracer.event(
+                    "net", "auth_failure", node=self.runtime.name or None,
+                    src=src,
+                )
                 raise
             # At-most-once: ACK-type messages are exempt (§VII-A), every
             # state-changing request is checked.

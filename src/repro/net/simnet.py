@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Optional
 
 from ..errors import NetworkError
+from ..obs.registry import MetricsRegistry
 from ..sim.core import Event, Simulator
 from ..sim.sync import Resource, Store
 
@@ -91,6 +92,13 @@ class Fabric:
         self.adversary: Optional[Any] = None  # NetworkAdversary, if installed
         self.delivered_frames = 0
         self.dropped_frames = 0
+        self.metrics = MetricsRegistry("fabric")
+        self.metrics.probe("net.delivered_frames",
+                           lambda: self.delivered_frames)
+        self.metrics.probe("net.dropped_frames", lambda: self.dropped_frames)
+        self.metrics.probe("net.tx_bytes",
+                           lambda: sum(n.tx_bytes
+                                       for n in self._nics.values()))
 
     def attach(
         self, address: str, bandwidth: float, propagation: float
@@ -120,6 +128,18 @@ class Fabric:
         """Move a frame toward its destination, adversary permitting."""
         if self.adversary is not None:
             verdicts = self.adversary.intercept(frame)
+            # The adversary is installed per-test, after cluster
+            # construction — look the tracer up lazily rather than
+            # caching it.
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.event(
+                    "net", "adversary_verdict",
+                    src=frame.src,
+                    dst=frame.dst,
+                    copies=sum(1 for f, _ in verdicts if f is not None),
+                    dropped=sum(1 for f, _ in verdicts if f is None),
+                )
         else:
             verdicts = [(frame, 0.0)]
         for out_frame, extra_delay in verdicts:

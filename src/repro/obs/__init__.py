@@ -1,0 +1,130 @@
+"""repro.obs — deterministic tracing, metrics, and runtime verification.
+
+The observability subsystem has four parts:
+
+* :mod:`repro.obs.tracer` — structured spans/events on the sim clock,
+  zero-cost when disabled;
+* :mod:`repro.obs.registry` — per-node counters/gauges/histograms plus
+  snapshot-time probes, aggregated by a :class:`MetricsHub`;
+* :mod:`repro.obs.export` — JSONL, Chrome ``chrome://tracing`` trace
+  events, and plain-text summary tables;
+* :mod:`repro.obs.monitor` — an online 2PC invariant monitor that
+  verifies protocol safety as the simulation runs.
+
+:class:`Observability` bundles them and installs onto a simulator;
+:class:`~repro.core.cluster.TreatyCluster` builds one from its
+:class:`~repro.config.ClusterConfig` (``tracing`` / ``monitor`` fields).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .export import (
+    chrome_trace,
+    load_chrome_trace,
+    summary_table,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .monitor import InvariantMonitor, MonitorViolation
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsHub,
+    MetricsRegistry,
+    SIZE_BUCKETS_BYTES,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "tracer_of",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsHub",
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS_BYTES",
+    "InvariantMonitor",
+    "MonitorViolation",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "summary_table",
+    "enable_monitor_by_default",
+    "monitor_enabled_by_default",
+]
+
+#: process-wide default for new clusters; the test suite flips it on in
+#: ``tests/conftest.py`` so every existing test runs under the monitor.
+_MONITOR_BY_DEFAULT = False
+
+
+def enable_monitor_by_default(enabled: bool = True) -> None:
+    """Make every subsequently built cluster install the invariant monitor."""
+    global _MONITOR_BY_DEFAULT
+    _MONITOR_BY_DEFAULT = enabled
+
+
+def monitor_enabled_by_default() -> bool:
+    return _MONITOR_BY_DEFAULT
+
+
+class Observability:
+    """One deployment's tracer + metrics hub + invariant monitor.
+
+    ``tracing`` retains records for export; ``monitor`` runs the
+    invariant checks.  Either alone installs a tracer on the simulator
+    (the monitor consumes the event stream without recording it); with
+    both off the simulator keeps ``tracer = None`` and instrumented
+    components fall back to the free null tracer.
+    """
+
+    def __init__(
+        self,
+        sim,
+        tracing: bool = False,
+        monitor: bool = False,
+        require_stabilization: bool = False,
+        strict_monitor: bool = True,
+        trace_processes: bool = False,
+    ):
+        self.sim = sim
+        self.hub = MetricsHub()
+        self.tracer: Optional[Tracer] = None
+        self.monitor: Optional[InvariantMonitor] = None
+        if tracing or monitor:
+            self.tracer = Tracer(
+                sim, record=tracing, trace_processes=trace_processes
+            )
+            sim.tracer = self.tracer
+        if monitor:
+            self.monitor = InvariantMonitor(
+                require_stabilization=require_stabilization,
+                strict=strict_monitor,
+            ).attach(self.tracer)
+        sim.obs = self
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None and self.tracer.record
+
+    def records(self):
+        return self.tracer.records if self.tracer is not None else []
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return self.hub.snapshot()
+
+    def summary(self, title: str = "metrics") -> str:
+        return summary_table(self.snapshot(), title=title)

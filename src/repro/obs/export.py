@@ -1,0 +1,186 @@
+"""Trace and metrics exporters.
+
+Three output formats:
+
+* **JSONL** — one sorted-key JSON object per record, in emission order.
+  Deterministic: the same seed produces byte-identical files.
+* **Chrome trace-event JSON** — open with ``chrome://tracing`` (or
+  Perfetto's legacy importer).  Spans become ``"X"`` complete events;
+  point events become ``"i"`` instants.  ``pid`` is the node, ``tid`` is
+  ``<category>/<lane>`` where lanes are assigned greedily so overlapping
+  spans of one category never share a row (interval partitioning keeps
+  the viewer's nesting rules satisfied).
+* **summary table** — a fixed-width text rendering of registry
+  snapshots for terminals and bench reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "summary_table",
+]
+
+Record = Dict[str, Any]
+
+
+def to_jsonl(records: Iterable[Record]) -> str:
+    """Records as JSON-lines text (sorted keys: byte-stable per seed)."""
+    lines = [json.dumps(rec, sort_keys=True, separators=(",", ":"))
+             for rec in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(records: Iterable[Record], path_or_fp: Union[str, IO]) -> None:
+    text = to_jsonl(records)
+    if hasattr(path_or_fp, "write"):
+        path_or_fp.write(text)
+    else:
+        with open(path_or_fp, "w") as fp:
+            fp.write(text)
+
+
+# -- Chrome trace-event format -------------------------------------------------
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace-event microseconds."""
+    return round(seconds * 1e6, 3)
+
+
+def _assign_lanes(spans: List[Record]) -> Dict[int, int]:
+    """Greedy interval partitioning per (node, category).
+
+    Returns ``sid -> lane`` such that spans sharing a lane never
+    overlap.  Deterministic: spans are processed in (t0, sid) order and
+    take the lowest free lane.
+    """
+    lanes: Dict[int, int] = {}
+    groups: Dict[Any, List[Record]] = {}
+    for span in spans:
+        groups.setdefault((span.get("node"), span["cat"]), []).append(span)
+    for group in groups.values():
+        group.sort(key=lambda s: (s["t0"], s["sid"]))
+        lane_ends: List[float] = []
+        for span in group:
+            for lane, end in enumerate(lane_ends):
+                if end <= span["t0"]:
+                    lane_ends[lane] = span["t1"]
+                    lanes[span["sid"]] = lane
+                    break
+            else:
+                lanes[span["sid"]] = len(lane_ends)
+                lane_ends.append(span["t1"])
+    return lanes
+
+
+def chrome_trace(records: Iterable[Record]) -> Dict[str, Any]:
+    """Convert tracer records to a Chrome trace-event document."""
+    records = list(records)
+    spans = [rec for rec in records if rec["type"] == "span"]
+    lanes = _assign_lanes(spans)
+    events: List[Dict[str, Any]] = []
+    seen_pids = []
+    for rec in records:
+        pid = rec.get("node") or "sim"
+        if pid not in seen_pids:
+            seen_pids.append(pid)
+        args = dict(rec.get("args") or {})
+        if rec.get("txn"):
+            args["txn"] = rec["txn"]
+        if rec["type"] == "span":
+            events.append({
+                "ph": "X",
+                "name": rec["name"],
+                "cat": rec["cat"],
+                "pid": pid,
+                "tid": "%s/%d" % (rec["cat"], lanes[rec["sid"]]),
+                "ts": _us(rec["t0"]),
+                "dur": _us(rec["t1"] - rec["t0"]),
+                "args": args,
+            })
+        else:
+            events.append({
+                "ph": "i",
+                "s": "t",
+                "name": rec["name"],
+                "cat": rec["cat"],
+                "pid": pid,
+                "tid": "%s/ev" % rec["cat"],
+                "ts": _us(rec["t"]),
+                "args": args,
+            })
+    metadata = [
+        {"ph": "M", "name": "process_name", "pid": pid, "ts": 0,
+         "args": {"name": pid}}
+        for pid in seen_pids
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[Record],
+                       path_or_fp: Union[str, IO]) -> None:
+    document = chrome_trace(records)
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    if hasattr(path_or_fp, "write"):
+        path_or_fp.write(text)
+    else:
+        with open(path_or_fp, "w") as fp:
+            fp.write(text)
+
+
+def load_chrome_trace(path_or_fp: Union[str, IO]) -> List[Dict[str, Any]]:
+    """Read back a trace file; returns the non-metadata trace events."""
+    if hasattr(path_or_fp, "read"):
+        document = json.load(path_or_fp)
+    else:
+        with open(path_or_fp) as fp:
+            document = json.load(fp)
+    return [event for event in document["traceEvents"] if event["ph"] != "M"]
+
+
+# -- plain-text summaries ------------------------------------------------------
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def summary_table(snapshot: Dict[str, Dict[str, Any]],
+                  title: str = "metrics") -> str:
+    """Render a :meth:`MetricsHub.snapshot` as a fixed-width table.
+
+    Histograms are summarized to ``total/mean/max``; scalar metrics
+    print as-is.
+    """
+    rows: List[List[str]] = []
+    for component in sorted(snapshot):
+        for name, value in sorted(snapshot[component].items()):
+            if isinstance(value, dict) and "counts" in value:
+                rendered = "n=%d mean=%s max=%s" % (
+                    value["total"],
+                    _format_value(value["mean"]),
+                    _format_value(value["max"] if value["max"] is not None else 0.0),
+                )
+            else:
+                rendered = _format_value(value)
+            rows.append([component, name, rendered])
+    headers = ["component", "metric", "value"]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["=== %s ===" % title,
+             "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Online 2PC invariant monitor.
+
+Subscribes to the tracer's event stream and checks Treaty's safety
+argument *while the simulation runs* — the runtime-verification stance
+of LCM-style rollback detectors and Fides, rather than test-only
+assertions.  Invariants:
+
+I1 **decision-before-apply** — no participant applies a commit before
+   the coordinator logged the decision to its Clog and (under
+   stabilization profiles) the decision entry is rollback-protected.
+I2 **stable-before-ack** — no participant ACKs a prepare before the
+   prepare record's trusted counter is stable (§V-A: "participants
+   delay replying back to the coordinator until the prepare entry in
+   the log is stabilized").
+I3 **counter monotonicity** — trusted-counter stable values and replica
+   confirmations never regress.
+I4 **recovery resolution** — every node that recovers with prepared
+   transactions eventually resolves all of them (checked by
+   :meth:`InvariantMonitor.check_quiescent` at end of run).
+
+The monitor learns stability from the counter service's own ``advance``
+events, *not* from the components under check — a broken stabilization
+path (one that returns without running the echo-broadcast protocol)
+therefore trips I1/I2 instead of being taken at its word.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = ["MonitorViolation", "InvariantMonitor"]
+
+
+class MonitorViolation(AssertionError):
+    """A protocol-safety invariant was observed to fail."""
+
+
+class InvariantMonitor:
+    """Checks 2PC safety invariants against the live event stream."""
+
+    def __init__(self, require_stabilization: bool = False,
+                 strict: bool = True):
+        #: when True, I1/I2 require counter stability, not just logging
+        #: (set from the profile: only stabilization profiles promise it).
+        self.require_stabilization = require_stabilization
+        #: raise :class:`MonitorViolation` at the violating instant;
+        #: False collects into :attr:`violations` instead.
+        self.strict = strict
+        self.violations: List[str] = []
+        self.events_seen = 0
+        #: highest stable counter value observed per log name.
+        self.stable: Dict[str, int] = {}
+        #: highest confirmed value per (replica, log).
+        self.confirmed: Dict[Any, int] = {}
+        #: txn -> {"kind", "log", "counter"} from coordinator Clog writes.
+        self.decisions: Dict[str, Dict[str, Any]] = {}
+        #: node -> set of prepared txns recovered but not yet resolved.
+        self.unresolved: Dict[str, Set[str]] = {}
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, tracer) -> "InvariantMonitor":
+        tracer.subscribe(self.on_record)
+        return self
+
+    @property
+    def green(self) -> bool:
+        return not self.violations
+
+    def _violate(self, message: str) -> None:
+        self.violations.append(message)
+        if self.strict:
+            raise MonitorViolation(message)
+
+    # -- event dispatch ----------------------------------------------------
+    def on_record(self, rec: Dict[str, Any]) -> None:
+        if rec["type"] != "event":
+            return
+        self.events_seen += 1
+        key = (rec["cat"], rec["name"])
+        handler = _HANDLERS.get(key)
+        if handler is not None:
+            handler(self, rec)
+
+    # -- invariant checks --------------------------------------------------
+    def _on_stable_advance(self, rec: Dict[str, Any]) -> None:
+        log = rec["args"]["log"]
+        value = rec["args"]["value"]
+        previous = self.stable.get(log, 0)
+        if value < previous:
+            self._violate(
+                "I3: stable counter for %s regressed from %d to %d"
+                % (log, previous, value)
+            )
+            return
+        self.stable[log] = value
+
+    def _on_counter_confirm(self, rec: Dict[str, Any]) -> None:
+        replica = rec["args"]["replica"]
+        log = rec["args"]["log"]
+        value = rec["args"]["value"]
+        previous = self.confirmed.get((replica, log), 0)
+        if value < previous:
+            self._violate(
+                "I3: replica %s confirmed counter for %s regressed %d -> %d"
+                % (replica, log, previous, value)
+            )
+            return
+        self.confirmed[(replica, log)] = value
+
+    def _on_prepare_ack(self, rec: Dict[str, Any]) -> None:
+        if not self.require_stabilization:
+            return
+        log = rec["args"]["log"]
+        counter = rec["args"]["counter"]
+        if self.stable.get(log, 0) < counter:
+            self._violate(
+                "I2: %s ACKed prepare of txn %s before entry %d of %s was "
+                "stable (stable=%d)"
+                % (rec["node"], rec["txn"], counter, log,
+                   self.stable.get(log, 0))
+            )
+
+    def _on_decision(self, rec: Dict[str, Any]) -> None:
+        self.decisions[rec["txn"]] = {
+            "kind": rec["args"]["kind"],
+            "log": rec["args"]["log"],
+            "counter": rec["args"]["counter"],
+        }
+
+    def _on_commit_apply(self, rec: Dict[str, Any]) -> None:
+        txn = rec["txn"]
+        self._resolve(rec["node"], txn)
+        decision = self.decisions.get(txn)
+        if decision is None or decision["kind"] != "commit":
+            self._violate(
+                "I1: %s applied commit of txn %s without a logged commit "
+                "decision" % (rec["node"], txn)
+            )
+            return
+        if self.require_stabilization:
+            log, counter = decision["log"], decision["counter"]
+            if self.stable.get(log, 0) < counter:
+                self._violate(
+                    "I1: %s applied commit of txn %s before decision entry "
+                    "%d of %s was stable (stable=%d)"
+                    % (rec["node"], txn, counter, log, self.stable.get(log, 0))
+                )
+
+    def _on_abort_apply(self, rec: Dict[str, Any]) -> None:
+        self._resolve(rec["node"], rec["txn"])
+
+    def _on_recover_done(self, rec: Dict[str, Any]) -> None:
+        prepared = rec["args"].get("prepared") or []
+        if prepared:
+            self.unresolved.setdefault(rec["node"], set()).update(prepared)
+
+    def _on_prepared_resolved(self, rec: Dict[str, Any]) -> None:
+        self._resolve(rec["node"], rec["txn"])
+
+    def _resolve(self, node: Optional[str], txn: Optional[str]) -> None:
+        pending = self.unresolved.get(node)
+        if pending is not None:
+            pending.discard(txn)
+            if not pending:
+                del self.unresolved[node]
+
+    # -- end-of-run checks -------------------------------------------------
+    def check_quiescent(self) -> None:
+        """I4: assert every recovered node resolved its prepared txns."""
+        for node, pending in sorted(self.unresolved.items()):
+            self._violate(
+                "I4: node %s still has unresolved prepared txns after "
+                "recovery: %s" % (node, sorted(pending))
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "events_seen": self.events_seen,
+            "decisions": len(self.decisions),
+            "stable_logs": len(self.stable),
+            "violations": list(self.violations),
+            "green": self.green,
+        }
+
+
+_HANDLERS = {
+    ("stabilize", "advance"): InvariantMonitor._on_stable_advance,
+    ("counter", "confirm"): InvariantMonitor._on_counter_confirm,
+    ("twopc", "prepare_ack"): InvariantMonitor._on_prepare_ack,
+    ("twopc", "decision"): InvariantMonitor._on_decision,
+    ("twopc", "commit_apply"): InvariantMonitor._on_commit_apply,
+    ("twopc", "abort_apply"): InvariantMonitor._on_abort_apply,
+    ("node", "recover_done"): InvariantMonitor._on_recover_done,
+    ("twopc", "prepared_resolved"): InvariantMonitor._on_prepared_resolved,
+}

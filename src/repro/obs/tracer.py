@@ -1,0 +1,205 @@
+"""Deterministic structured tracer keyed to the simulation clock.
+
+Every timestamp a span or event carries is the *simulated* time of the
+:class:`~repro.sim.core.Simulator` the tracer is bound to, so two runs
+with the same seed produce byte-identical trace files — the property the
+export tests pin down.  Wall-clock time never enters a record.
+
+Zero cost when disabled: components resolve their tracer once (at
+construction) via :func:`tracer_of`, which returns the shared
+:data:`NULL_TRACER` when no tracer is installed on the simulator.  The
+null tracer's methods are no-ops and its spans are a single reusable
+object, so the instrumentation in the hot paths costs one attribute
+lookup plus one no-op call.
+
+Records are plain dicts with two shapes:
+
+``{"type": "event", "t": <sim s>, "cat": ..., "name": ..., "node": ...,
+  "txn": ..., "args": {...}}`` — a point event, recorded when emitted.
+
+``{"type": "span", "t0": ..., "t1": ..., "cat": ..., "name": ...,
+  "node": ..., "txn": ..., "sid": n, "parent": m, "args": {...}}`` — a
+closed span; ``parent`` is the innermost span still open when this one
+was opened (0 at top level), giving the nesting the exporters render.
+
+Subscribers (the invariant monitor) receive every record as it is
+finalized, whether or not the tracer retains records for export.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "tracer_of"]
+
+Subscriber = Callable[[Dict[str, Any]], None]
+
+
+class Span:
+    """One open interval of simulated time; close it (or use ``with``)."""
+
+    __slots__ = ("tracer", "cat", "name", "node", "txn", "start", "args",
+                 "sid", "parent", "_closed")
+
+    def __init__(self, tracer, cat, name, node, txn, start, args, sid, parent):
+        self.tracer = tracer
+        self.cat = cat
+        self.name = name
+        self.node = node
+        self.txn = txn
+        self.start = start
+        self.args = args
+        self.sid = sid
+        self.parent = parent
+        self._closed = False
+
+    def close(self, **extra: Any) -> None:
+        """Finalize the span at the current simulated instant."""
+        if self._closed:
+            return
+        self._closed = True
+        if extra:
+            self.args.update(extra)
+        self.tracer._close_span(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Tracer:
+    """Records spans and point events against the simulation clock.
+
+    ``record=False`` keeps the tracer's dispatch (subscribers still see
+    every record — how the invariant monitor runs without the memory
+    cost of retaining a full trace) but drops the records themselves.
+    """
+
+    enabled = True
+
+    def __init__(self, sim, record: bool = True, trace_processes: bool = False):
+        self.sim = sim
+        self.record = record
+        #: emit sim-process start/finish events (chatty; off by default).
+        self.trace_processes = trace_processes
+        self.records: List[Dict[str, Any]] = []
+        self.subscribers: List[Subscriber] = []
+        self._ids = itertools.count(1)
+        #: innermost-open-first stack used to assign span parents.
+        self._open: List[Span] = []
+        self.spans_closed = 0
+        self.events_emitted = 0
+
+    # -- wiring ------------------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Call ``subscriber(record)`` for every finalized record."""
+        self.subscribers.append(subscriber)
+
+    def _emit(self, rec: Dict[str, Any]) -> None:
+        if self.record:
+            self.records.append(rec)
+        for subscriber in self.subscribers:
+            subscriber(rec)
+
+    # -- spans -------------------------------------------------------------
+    def span(self, cat: str, name: str, node: Optional[str] = None,
+             txn: Optional[str] = None, **args: Any) -> Span:
+        """Open a span at the current instant; ``close()`` ends it."""
+        parent = self._open[-1].sid if self._open else 0
+        span = Span(self, cat, name, node, txn, self.sim.now, args,
+                    next(self._ids), parent)
+        self._open.append(span)
+        return span
+
+    def _close_span(self, span: Span) -> None:
+        # Remove by identity: interleaved fibers may close out of order.
+        for index in range(len(self._open) - 1, -1, -1):
+            if self._open[index] is span:
+                del self._open[index]
+                break
+        self.spans_closed += 1
+        self._emit({
+            "type": "span", "cat": span.cat, "name": span.name,
+            "t0": span.start, "t1": self.sim.now, "node": span.node,
+            "txn": span.txn, "sid": span.sid, "parent": span.parent,
+            "args": span.args,
+        })
+
+    # -- point events ------------------------------------------------------
+    def event(self, cat: str, name: str, node: Optional[str] = None,
+              txn: Optional[str] = None, **args: Any) -> None:
+        """Emit a point event at the current instant."""
+        self.events_emitted += 1
+        self._emit({
+            "type": "event", "cat": cat, "name": name, "t": self.sim.now,
+            "node": node, "txn": txn, "args": args,
+        })
+
+    # -- sim process hooks (called from repro.sim.core) --------------------
+    def process_started(self, process) -> None:
+        if self.trace_processes:
+            self.event("sim", "process_start", process=process.name)
+
+    def process_finished(self, process) -> None:
+        if self.trace_processes:
+            self.event("sim", "process_end", process=process.name)
+
+
+class _NullSpan:
+    """Reusable do-nothing span handed out by the null tracer."""
+
+    __slots__ = ()
+
+    def close(self, **extra: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    record = False
+    records: List[Dict[str, Any]] = []
+
+    __slots__ = ()
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        raise RuntimeError("cannot subscribe to the null tracer")
+
+    def span(self, cat: str, name: str, node: Optional[str] = None,
+             txn: Optional[str] = None, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, cat: str, name: str, node: Optional[str] = None,
+              txn: Optional[str] = None, **args: Any) -> None:
+        pass
+
+    def process_started(self, process) -> None:
+        pass
+
+    def process_finished(self, process) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+def tracer_of(sim) -> Any:
+    """The tracer installed on ``sim``, or the shared null tracer.
+
+    Components call this once at construction and keep the result, so
+    the disabled path costs nothing per operation.
+    """
+    return getattr(sim, "tracer", None) or NULL_TRACER

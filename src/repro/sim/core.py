@@ -166,6 +166,8 @@ class Process(Event):
         self._body = body
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(body, "__name__", "process")
+        if sim.tracer is not None:
+            sim.tracer.process_started(self)
         # Kick off the body at the current instant (single heap entry).
         sim._schedule_call(self._bootstrap_call)
 
@@ -210,9 +212,13 @@ class Process(Event):
             else:
                 target = self._body.send(send)
         except StopIteration as stop:
+            if self.sim.tracer is not None:
+                self.sim.tracer.process_finished(self)
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - modelled fault propagation
+            if self.sim.tracer is not None:
+                self.sim.tracer.process_finished(self)
             self.fail(exc)
             return
         if not isinstance(target, Event):
@@ -294,6 +300,11 @@ class Simulator:
         self._heap: List[Any] = []
         self._seq = itertools.count()
         self._running = False
+        #: observability hook points (installed by repro.obs.Observability;
+        #: None keeps the simulator dependency-free and the hooks at the
+        #: cost of one identity check).
+        self.tracer: Optional[Any] = None
+        self.obs: Optional[Any] = None
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:

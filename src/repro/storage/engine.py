@@ -92,6 +92,14 @@ class LSMEngine:
         self.flush_count = 0
         self.compaction_count = 0
         self._started = False
+        self.tracer = runtime.tracer
+        runtime.metrics.probe("storage.flush_count", lambda: self.flush_count)
+        runtime.metrics.probe("storage.compaction_count",
+                              lambda: self.compaction_count)
+        runtime.metrics.probe(
+            "storage.live_sstables",
+            lambda: sum(len(tables) for tables in self.levels.values()),
+        )
 
     # -- paths / ids ---------------------------------------------------------
     def _path(self, filename: str) -> str:
@@ -258,9 +266,11 @@ class LSMEngine:
     def flush(self) -> Gen:
         """Flush the MemTable to a new L0 SSTable and rotate the WAL."""
         yield self._flush_lock.request()
+        span = None
         try:
             if len(self.memtable) == 0:
                 return
+            span = self.tracer.span("storage", "flush", node=self.name)
             entries = yield from self.memtable.entries()
             meta = yield from build_sstable(
                 self.runtime,
@@ -287,7 +297,10 @@ class LSMEngine:
             self.memtable.clear()
             self.flush_count += 1
             self._defer_delete([old_wal.filename], after_manifest_counter=counter)
+            span.close(table=meta.filename, bytes=meta.file_bytes)
         finally:
+            if span is not None:
+                span.close()
             self._flush_lock.release()
         if len(self.levels.get(0, [])) >= _L0_COMPACTION_TRIGGER:
             yield from self.compact(0)
@@ -297,6 +310,10 @@ class LSMEngine:
         inputs = list(self.levels.get(level, []))
         if not inputs:
             return
+        span = self.tracer.span(
+            "storage", "compact", node=self.name, level=level,
+            inputs=len(inputs),
+        )
         target = level + 1
         overlapping = [
             meta
@@ -357,6 +374,7 @@ class LSMEngine:
         )
         for meta in obsolete:
             self._readers.pop(meta.filename, None)
+        span.close(outputs=len(new_metas))
         # Cascade when the target level itself overflowed (§II-A).
         trigger = _L0_COMPACTION_TRIGGER * (_LEVEL_RATIO ** target)
         if target < _MAX_LEVEL and len(self.levels.get(target, [])) > trigger:

@@ -55,6 +55,8 @@ class SecureLog:
         self._chain = LogChain(keyring.log_auth_key(self.log_name))
         self.next_counter = 1
         self.appended_bytes = 0
+        self.tracer = runtime.tracer
+        self._bytes_counter = runtime.metrics.counter("storage.log_bytes")
 
     # -- helpers -----------------------------------------------------------
     @property
@@ -88,6 +90,10 @@ class SecureLog:
 
     def append_many(self, payloads: Sequence[bytes]) -> Gen:
         """Append a batch in one device write (group commit, §VII-B)."""
+        span = self.tracer.span(
+            "storage", "log_append", node=self.runtime.name or None,
+            log=self.log_name, entries=len(payloads),
+        )
         frames: List[bytes] = []
         counters: List[int] = []
         for payload in payloads:
@@ -100,7 +106,9 @@ class SecureLog:
         blob = b"".join(frames)
         self.disk.append(self.filename, blob)
         self.appended_bytes += len(blob)
+        self._bytes_counter.inc(len(blob))
         yield from self.runtime.ssd_write(len(blob))
+        span.close(bytes=len(blob))
         return counters
 
     # -- reading -------------------------------------------------------------

@@ -8,6 +8,8 @@ memory layout (§VII-D) is designed to avoid.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from ..config import CostModel
 from ..memory.regions import EnclaveMemory
 
@@ -41,3 +43,12 @@ class Enclave:
         faults = pages * pressure
         self.page_faults += faults
         return faults * self.costs.epc_page_fault
+
+    def stats(self) -> Dict[str, float]:
+        """Transition/paging counters for reports and ``repro info``."""
+        return {
+            "transitions": self.transitions,
+            "page_faults": round(self.page_faults, 3),
+            "resident_bytes": self.memory.used,
+            "epc_bytes": self.memory.soft_limit,
+        }

@@ -20,6 +20,8 @@ from typing import Any, Generator
 
 from ..config import ClusterConfig, CostModel, EnvProfile
 from ..memory.regions import HostMemory
+from ..obs.registry import MetricsRegistry
+from ..obs.tracer import tracer_of
 from ..sim.core import Event, Simulator
 from ..sim.cpu import CpuPool
 from .enclave import Enclave
@@ -32,10 +34,14 @@ Gen = Generator[Event, Any, None]
 class NodeRuntime:
     """Cost-charging execution context for one node."""
 
-    def __init__(self, sim: Simulator, profile: EnvProfile, config: ClusterConfig):
+    def __init__(self, sim: Simulator, profile: EnvProfile,
+                 config: ClusterConfig, name: str = ""):
         self.sim = sim
         self.profile = profile
         self.config = config
+        #: owning node's name; labels trace records ("" for anonymous
+        #: runtimes such as client machines and unit-test harnesses).
+        self.name = name
         self.costs: CostModel = config.costs
         factor = (
             self.costs.enclave_speed_factor if profile.in_enclave else 1.0
@@ -43,6 +49,16 @@ class NodeRuntime:
         self.cpu = CpuPool(sim, config.cores_per_node, speed_factor=factor)
         self.enclave = Enclave(self.costs)
         self.host_memory = HostMemory()
+        self.tracer = tracer_of(sim)
+        self.metrics = MetricsRegistry()
+        self.metrics.probe("runtime.syscalls", lambda: self.syscalls)
+        self.metrics.probe("runtime.crypto_ops", lambda: self.crypto_ops)
+        self.metrics.probe("runtime.io_bytes_written",
+                           lambda: self.io_bytes_written)
+        self.metrics.probe("tee.transitions",
+                           lambda: self.enclave.transitions)
+        self.metrics.probe("tee.page_faults",
+                           lambda: round(self.enclave.page_faults, 3))
         # Statistics for reports / ablations.
         self.syscalls = 0
         self.crypto_ops = 0
@@ -75,6 +91,8 @@ class NodeRuntime:
         """Charge paging for touching enclave-resident data under pressure."""
         cost = self.enclave.touch_cost(nbytes) if self.profile.in_enclave else 0.0
         if cost > 0.0:
+            self.tracer.event("tee", "epc_paging", bytes=nbytes,
+                              cost=round(cost, 9))
             yield from self.cpu.consume(cost)
 
     # -- syscalls ------------------------------------------------------------
@@ -88,6 +106,7 @@ class NodeRuntime:
     def world_switch(self) -> Gen:
         """A full enclave exit/enter (only on naive OCALL paths)."""
         if self.profile.in_enclave:
+            self.tracer.event("tee", "world_switch")
             yield from self.cpu.consume(self.enclave.transition_cost())
 
     def msgbuf_shield(self, nbytes: int) -> Gen:
@@ -98,6 +117,7 @@ class NodeRuntime:
         boundary instead of paging EPC.
         """
         if self.profile.in_enclave and nbytes > 0:
+            self.tracer.event("tee", "msgbuf_shield", bytes=nbytes)
             yield from self.cpu.consume(
                 self.costs.scone_net_handling
                 + nbytes * self.costs.scone_msgbuf_copy_per_byte

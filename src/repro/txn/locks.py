@@ -71,6 +71,10 @@ class LockTable:
         self._held: Dict[bytes, Dict[bytes, str]] = defaultdict(OrderedDict)
         self.timeouts = 0
         self.acquisitions = 0
+        #: optional Histogram of contended-wait seconds, installed by the
+        #: owning TransactionManager (kept optional so unit tests can use
+        #: a bare LockTable).
+        self.wait_hist = None
 
     # -- internals ----------------------------------------------------------
     def _lock_for(self, key: bytes, create: bool = True) -> Optional[_KeyLock]:
@@ -136,10 +140,13 @@ class LockTable:
             self.acquisitions += 1
             return
         # Must wait (possibly for other readers to drain on an upgrade).
+        wait_start = self.sim.now
         grant = self.sim.event()
         state.waiters.append((txn_id, mode, key, grant))
         deadline = self.sim.timeout(self.timeout if timeout is None else timeout)
         yield self.sim.any_of([grant, deadline])
+        if self.wait_hist is not None:
+            self.wait_hist.observe(self.sim.now - wait_start)
         if not grant.triggered:
             # Timed out: withdraw the waiter entry.
             state.waiters[:] = [w for w in state.waiters if w[3] is not grant]

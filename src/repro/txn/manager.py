@@ -45,6 +45,11 @@ class TransactionManager:
         self.locks = LockTable(
             runtime.sim, shards=config.lock_shards, timeout=config.lock_timeout
         )
+        self.locks.wait_hist = runtime.metrics.histogram("locks.wait_s")
+        runtime.metrics.probe("locks.timeouts", lambda: self.locks.timeouts)
+        runtime.metrics.probe(
+            "locks.acquisitions", lambda: self.locks.acquisitions
+        )
         self.group = GroupCommitter(runtime, engine, max_group=config.group_commit_max)
         self.lock_timeout = config.lock_timeout
         self._stabilizer = stabilizer

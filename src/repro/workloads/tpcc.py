@@ -562,7 +562,7 @@ def run_tpcc(
             if committed:
                 metrics.record(started, sim.now)
             else:
-                metrics.record_abort()
+                metrics.record_abort(started)
 
     for i in range(num_clients):
         sim.process(terminal_loop(i), name="tpcc-terminal-%d" % i)

@@ -148,7 +148,7 @@ def run_ycsb(
             if committed:
                 metrics.record(txn_start, sim.now)
             else:
-                metrics.record_abort()
+                metrics.record_abort(txn_start)
 
     workers = [
         sim.process(client_loop(i), name="ycsb-client-%d" % i)

@@ -3,6 +3,12 @@
 import pytest
 
 from repro.config import ClusterConfig, DS_ROCKSDB, TREATY_ENC
+from repro.obs import enable_monitor_by_default
+
+# Every cluster the suite builds runs under the online invariant monitor
+# (strict: a protocol-safety violation fails the test at the violating
+# instant).  Individual tests can still opt out via ClusterConfig.
+enable_monitor_by_default()
 from repro.crypto import KeyRing
 from repro.net import ErpcEndpoint, Fabric, SecureRpc
 from repro.sim import Simulator

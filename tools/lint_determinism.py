@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Determinism guard: no wall-clock or ambient randomness in the sim.
+
+Every run of the simulator must be a pure function of its seed — that is
+what makes traces byte-identical and bugs replayable.  This lint fails
+if any module under ``src/repro`` imports ``time`` or ``random``
+directly; :mod:`repro.sim.rng` is the single sanctioned wrapper (it
+derives streams from explicit seeds and never touches global state).
+
+Usage: ``python tools/lint_determinism.py [src-root]`` — exits non-zero
+and lists offenders if any are found.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+BANNED = {"time", "random"}
+ALLOWED_FILES = {os.path.join("repro", "sim", "rng.py")}
+
+
+def banned_imports(path: str) -> list:
+    with open(path) as fp:
+        tree = ast.parse(fp.read(), filename=path)
+    offenses = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in BANNED:
+                    offenses.append((node.lineno, "import %s" % alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and \
+                    node.module.split(".")[0] in BANNED:
+                offenses.append(
+                    (node.lineno, "from %s import ..." % node.module)
+                )
+    return offenses
+
+
+def main(argv: list) -> int:
+    root = argv[1] if len(argv) > 1 else "src"
+    failures = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "repro")):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, root)
+            if relative in ALLOWED_FILES:
+                continue
+            for lineno, what in banned_imports(path):
+                failures.append("%s:%d: %s" % (path, lineno, what))
+    if failures:
+        print("determinism lint: banned wall-clock/randomness imports "
+              "(only repro/sim/rng.py may import them):")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("determinism lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
