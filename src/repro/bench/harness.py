@@ -29,6 +29,8 @@ __all__ = [
     "tpcc_single_node",
     "twopc_only",
     "recovery_experiment",
+    "durability_smoke",
+    "sweep_group_commit_window",
 ]
 
 
@@ -74,7 +76,37 @@ def _attach_phase_breakdown(metrics: MetricsCollector, cluster) -> None:
         )
         for name in ("tee.transitions", "tee.page_faults")
     }
-    metrics.extra_info["obs"] = {"phases": phases, "enclave": enclave}
+    durability = {
+        "rounds_executed": sum(
+            component.get("counter.rounds_executed", 0)
+            for component in snapshot.values()
+        )
+    }
+    for name in ("stabilize.batch_size", "group_commit.batch_size"):
+        count, total, peak = 0, 0.0, 0.0
+        for component in snapshot.values():
+            hist = component.get(name)
+            if not isinstance(hist, dict):
+                continue
+            count += hist["total"]
+            total += hist["sum"]
+            if hist["max"] is not None:
+                peak = max(peak, hist["max"])
+        if count:
+            durability[name] = {
+                "count": count,
+                "mean": total / count,
+                "max": peak,
+            }
+    if metrics.committed:
+        durability["rounds_per_committed_txn"] = (
+            durability["rounds_executed"] / metrics.committed
+        )
+    metrics.extra_info["obs"] = {
+        "phases": phases,
+        "enclave": enclave,
+        "durability": durability,
+    }
 
 
 # --- YCSB ---------------------------------------------------------------------
@@ -297,6 +329,87 @@ def bulk_load_null(cluster: TreatyCluster, config: YcsbConfig):
         engine = node.engine
         batch = [(key, value, engine.next_seq()) for key, value in pairs]
         yield from engine.apply_writes(batch)
+
+
+# --- durability pipeline (smoke + window sweep) ------------------------------
+
+
+def durability_smoke(
+    num_clients: int = 24,
+    duration: float = 0.2,
+    vectoring: bool = True,
+) -> MetricsCollector:
+    """Short deterministic YCSB run on TREATY_FULL under the monitor.
+
+    Exercises the whole durability pipeline — vectored counter rounds,
+    stabilization-aware group commit, and the I1–I5 invariant monitor —
+    in a few wall-clock seconds.  CI runs this and fails the build on
+    any monitor violation; ``extra_info["obs"]["durability"]`` carries
+    the rounds-per-committed-transaction amortization number.
+    """
+    from ..config import TREATY_FULL
+
+    config = ClusterConfig(
+        monitor=True,
+        counter_vectoring=vectoring,
+        monitor_liveness_timeout_s=duration,
+    )
+    cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+    ycsb = YcsbConfig(read_proportion=0.5, num_keys=2_000)
+    cluster.run(bulk_load(cluster, ycsb), name="load")
+    metrics = MetricsCollector("durability-smoke")
+    run_ycsb(
+        cluster,
+        ycsb,
+        metrics,
+        num_clients=num_clients,
+        duration=duration,
+        warmup=duration * 0.25,
+    )
+    monitor = cluster.obs.monitor
+    monitor.check_quiescent(now=cluster.sim.now)
+    _attach_phase_breakdown(metrics, cluster)
+    metrics.extra_info["monitor"] = monitor.summary()
+    return metrics
+
+
+def sweep_group_commit_window(
+    windows: Optional[List[Optional[float]]] = None,
+    num_clients: Optional[int] = None,
+    duration: Optional[float] = None,
+) -> List[Tuple[str, MetricsCollector]]:
+    """Sweep the group-commit window and report the latency/throughput
+    frontier.
+
+    ``None`` in ``windows`` selects the adaptive (trace-informed)
+    window; ``0.0`` is the legacy immediate-dispatch behaviour; positive
+    values are fixed windows in simulated seconds.
+    """
+    from ..config import TREATY_FULL
+
+    if windows is None:
+        windows = [0.0, 5e-5, 1e-4, 2e-4, 4e-4, None]
+    num_clients = num_clients or _scaled(32, 64)
+    duration = duration or _scaled(0.2, 0.6)
+    results: List[Tuple[str, MetricsCollector]] = []
+    for window in windows:
+        label = "adaptive" if window is None else "%.0fus" % (window * 1e6)
+        config = ClusterConfig(group_commit_window=window)
+        cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        ycsb = YcsbConfig(read_proportion=0.5, num_keys=5_000)
+        cluster.run(bulk_load(cluster, ycsb), name="load")
+        metrics = MetricsCollector(label)
+        run_ycsb(
+            cluster,
+            ycsb,
+            metrics,
+            num_clients=num_clients,
+            duration=duration,
+            warmup=duration * 0.25,
+        )
+        _attach_phase_breakdown(metrics, cluster)
+        results.append((label, metrics))
+    return results
 
 
 # --- recovery (Table I) --------------------------------------------------------------

@@ -7,6 +7,9 @@ Commands:
 * ``ycsb``   — run a YCSB experiment (profile/read-mix/clients options).
 * ``tpcc``   — run a TPC-C experiment.
 * ``trace``  — run a workload with tracing on and write a Chrome trace.
+* ``bench``  — durability-pipeline benchmarks: ``smoke`` (monitored
+  full-pipeline run, the CI gate) and ``sweep-window`` (group-commit
+  window latency/throughput frontier).
 * ``attacks``— run the attack-detection demonstration.
 """
 
@@ -215,6 +218,79 @@ def cmd_attacks(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.mode == "smoke":
+        return _bench_smoke(args)
+    return _bench_sweep_window(args)
+
+
+def _bench_smoke(args: argparse.Namespace) -> int:
+    """Short full-pipeline run under the strict monitor (CI gate)."""
+    from .bench.harness import durability_smoke
+    from .obs import MonitorViolation
+
+    try:
+        metrics = durability_smoke(
+            num_clients=args.clients or 24, duration=args.duration or 0.2
+        )
+    except MonitorViolation as exc:
+        print("MONITOR VIOLATION: %s" % exc, file=sys.stderr)
+        return 1
+    _print_metrics(metrics)
+    monitor = metrics.extra_info.get("monitor", {})
+    durability = metrics.extra_info["obs"].get("durability", {})
+    print("monitor      : %d events, %d violations"
+          % (monitor.get("events_seen", 0), len(monitor.get("violations", []))))
+    if "rounds_per_committed_txn" in durability:
+        print("counter rounds/committed txn : %.3f"
+              % durability["rounds_per_committed_txn"])
+    batch = durability.get("stabilize.batch_size")
+    if batch:
+        print("stabilize batch size         : mean %.2f  max %d"
+              % (batch["mean"], batch["max"]))
+    if not monitor.get("green", True):
+        for violation in monitor["violations"]:
+            print("MONITOR VIOLATION: %s" % violation, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_sweep_window(args: argparse.Namespace) -> int:
+    """Sweep the group-commit window; print the latency/throughput frontier."""
+    from .bench.harness import sweep_group_commit_window
+    from .bench.reporting import format_table
+
+    windows: Optional[List[Optional[float]]] = None
+    if args.windows:
+        windows = [
+            None if token == "adaptive" else float(token) * 1e-6
+            for token in args.windows.split(",")
+        ]
+    results = sweep_group_commit_window(
+        windows=windows, num_clients=args.clients, duration=args.duration
+    )
+    rows = []
+    for label, metrics in results:
+        summary = metrics.summary()
+        durability = metrics.extra_info["obs"].get("durability", {})
+        batch = durability.get("group_commit.batch_size") or {}
+        rows.append((
+            label,
+            "%.0f" % summary["throughput_tps"],
+            "%.3f" % summary["mean_latency_ms"],
+            "%.3f" % summary["p99_ms"],
+            "%.2f" % batch.get("mean", 1.0),
+            "%.3f" % durability.get("rounds_per_committed_txn", 0.0),
+        ))
+    print(format_table(
+        "group-commit window sweep (YCSB 50/50, Treaty w/ Enc w/ Stab)",
+        ("window", "tput (tps)", "mean (ms)", "p99 (ms)",
+         "batch", "rounds/txn"),
+        rows,
+    ))
+    return 0
+
+
 def _print_metrics(metrics: MetricsCollector) -> None:
     summary = metrics.summary()
     print("profile      :", summary["name"])
@@ -279,6 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated seconds of workload")
     trace.add_argument("--seed", type=int, default=7)
     trace.set_defaults(func=cmd_trace)
+
+    bench = subparsers.add_parser(
+        "bench", help="durability-pipeline benchmarks (smoke, sweep-window)"
+    )
+    bench.add_argument(
+        "mode", choices=["smoke", "sweep-window"],
+        help="smoke: monitored full-pipeline run (CI gate); "
+             "sweep-window: group-commit window frontier",
+    )
+    bench.add_argument("--clients", type=int, default=None,
+                       help="concurrent YCSB clients")
+    bench.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds of measured workload")
+    bench.add_argument(
+        "--windows", default=None,
+        help="comma-separated window values in microseconds for "
+             "sweep-window ('adaptive' selects the EWMA window), "
+             "e.g. '0,50,100,adaptive'",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     attacks = subparsers.add_parser(
         "attacks", help="attack-detection demonstration"

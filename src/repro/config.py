@@ -255,7 +255,33 @@ class ClusterConfig:
     lock_timeout: float = 0.05
     counter_group_size: int = 3  # ROTE protection-group size
     counter_quorum: int = 2
+    #: how long one counter round waits for stragglers beyond the quorum;
+    #: a crashed group member must not wedge the protocol (§VI).
+    counter_round_timeout: float = 0.05
+    #: backoff between counter-round retries when the quorum is unreachable.
+    counter_retry_backoff: float = 0.1
+    #: retries before a stabilization request gives up (FreshnessError).
+    counter_max_retries: int = 100
+    #: batch stabilization targets for *different* logs (WAL + Clog) into
+    #: one vectored echo-broadcast round (the durability pipeline's
+    #: amortization).  False falls back to one round driver per log —
+    #: the pre-pipeline baseline, kept for comparison benchmarks.
+    counter_vectoring: bool = True
     group_commit_max: int = 16  # transactions merged per group commit
+    #: how long a group-commit leader waits for followers to join before
+    #: draining the batch.  ``None`` = adaptive (bounded wait keyed off
+    #: the observed submit arrival gaps); ``0.0`` = the legacy immediate
+    #: drain (yield once, take whatever joined); a positive value fixes
+    #: the window.
+    group_commit_window: Optional[float] = None
+    #: upper bound on the adaptive group-commit window.
+    group_commit_window_cap: float = 4.0e-4
+    #: bounded-liveness horizon for the invariant monitor (I5): absent
+    #: crashes, every prepare must reach a decision within this many
+    #: simulated seconds.  Generous by design — it exists to catch stuck
+    #: fibers, not slow ones (vote timeout + counter retries can
+    #: legitimately take seconds under injected faults).
+    monitor_liveness_timeout_s: float = 30.0
     block_bytes: int = 4096  # SSTable block size
     #: "lsm" = full persistent engine; "null" = in-memory stub used to
     #: isolate the 2PC protocol's overheads (Figure 4).

@@ -5,7 +5,9 @@ from .client import ClientMachine, ClientSession, ClientTxn, FrontEnd
 from .cluster import TreatyCluster, hash_partitioner
 from .ids import GlobalTxnId, TxnIdAllocator
 from .node import TreatyNode
+from .pipeline import DurabilityPipeline
 from .recovery import (
+    StableCounterResolver,
     crash_and_recover,
     rollback_attack,
     snapshot_node_disk,
@@ -24,12 +26,14 @@ __all__ = [
     "Coordinator",
     "CounterClient",
     "CounterReplica",
+    "DurabilityPipeline",
     "FrontEnd",
     "GlobalTxn",
     "GlobalTxnId",
     "LocalAttestationService",
     "NodeCredentials",
     "Participant",
+    "StableCounterResolver",
     "Stabilizer",
     "TreatyCluster",
     "TreatyNode",

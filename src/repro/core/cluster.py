@@ -67,6 +67,7 @@ class TreatyCluster:
                 else monitor_enabled_by_default()
             ),
             require_stabilization=profile.stabilization,
+            liveness_timeout=self.config.monitor_liveness_timeout_s,
         )
         self.fabric = Fabric(self.sim, mtu=self.config.costs.net_mtu)
         self.obs.hub.add("fabric", self.fabric.metrics)

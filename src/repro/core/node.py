@@ -37,6 +37,7 @@ from .cas import (
 )
 from .client import FrontEnd
 from .ids import GlobalTxnId
+from .pipeline import DurabilityPipeline
 from .stabilization import Stabilizer
 from .trusted_counter import CounterClient, CounterReplica
 from .twopc import ClogRecord, Coordinator, GlobalTxn, Participant
@@ -90,6 +91,7 @@ class TreatyNode:
         self.participant: Optional[Participant] = None
         self.frontend: Optional[FrontEnd] = None
         self.counter_client: Optional[CounterClient] = None
+        self.pipeline: Optional[DurabilityPipeline] = None
         self.stabilizer: Optional[Stabilizer] = None
         self.clog: Optional[SecureLog] = None
 
@@ -146,7 +148,10 @@ class TreatyNode:
             self.numeric_id,
             epoch=self.boot_count,
         )
-        self.stabilizer = Stabilizer(self.runtime, self.counter_client)
+        self.pipeline = DurabilityPipeline(
+            self.runtime, self.counter_client, self.config
+        )
+        self.stabilizer = self.pipeline.stabilizer
         if self.config.storage_engine == "null":
             from ..storage.nullengine import NullStorageEngine
 
@@ -167,6 +172,7 @@ class TreatyNode:
             self.config,
             stabilizer=self.stabilizer,
             name=self.name,
+            pipeline=self.pipeline,
         )
 
     def _wire_roles(self) -> None:
@@ -295,9 +301,11 @@ class TreatyNode:
 
         resolver = None
         if self.profile.stabilization:
-            def resolver(log_name: str) -> Gen:
-                value = yield from self.counter_client.read_stable(log_name)
-                return value
+            # Import here: repro.core.recovery imports the cluster module
+            # (for the attack helpers), which imports this one.
+            from .recovery import StableCounterResolver
+
+            resolver = StableCounterResolver(self.counter_client)
 
         state, prepared_ids = yield from self.engine.recover(resolver)
 

@@ -1,0 +1,100 @@
+"""The per-node durability pipeline (group commit + stabilization + counters).
+
+Before this module existed the durability stack was three independently
+queued layers: the :class:`~repro.txn.group_commit.GroupCommitter`
+batched WAL writes, the :class:`~repro.core.stabilization.Stabilizer`
+gated each transaction on its own counter wait, and the
+:class:`~repro.core.trusted_counter.CounterClient` ran one round driver
+per log.  Every layer amortized within itself, but each handed the next
+layer one request per transaction — so a group commit of 16 transactions
+still produced 16 gate waits racing the round driver, and a WAL round
+and a Clog round never shared an echo broadcast.
+
+:class:`DurabilityPipeline` owns all three and schedules them as one
+pipeline:
+
+1. the counter protocol is *vectored* — one echo-broadcast round carries
+   ``(log, value)`` targets for every pending log, so WAL batches and
+   2PC decision entries stabilize together (``counter_vectoring``);
+2. the group-commit leader stabilizes its batch with a *single* request
+   covering the batch's highest WAL counter; followers share one wait
+   (one event) instead of N gate waits;
+3. the group-commit window is adaptive: the leader waits a bounded
+   multiple of the observed submit arrival gap before draining, instead
+   of the fixed ``timeout(0)`` (``group_commit_window``).
+
+The invariants are unchanged: a transaction is acknowledged only after
+its WAL entry's counter is stable, 2PC decision entries are stabilized
+before participants act, and the monitor's I1–I4 checks still learn
+stability exclusively from counter-advance events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence, Tuple
+
+from ..config import ClusterConfig
+from ..sim.core import Event
+from ..tee.runtime import NodeRuntime
+from ..txn.group_commit import GroupCommitter
+from .stabilization import Stabilizer
+from .trusted_counter import CounterClient
+
+__all__ = ["DurabilityPipeline"]
+
+Gen = Generator[Event, Any, Any]
+
+
+class DurabilityPipeline:
+    """One node's unified durability scheduler.
+
+    Construction order mirrors the dependency chain: the pipeline wraps
+    an existing :class:`CounterClient` with a :class:`Stabilizer`, and
+    :meth:`attach_engine` later binds the node's storage engine with a
+    pipeline-aware :class:`GroupCommitter`.
+    """
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        counter_client: Optional[CounterClient],
+        config: ClusterConfig,
+    ):
+        self.runtime = runtime
+        self.counter_client = counter_client
+        self.config = config
+        self.stabilizer = Stabilizer(runtime, counter_client)
+        self.committer: Optional[GroupCommitter] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether stabilization actually runs under this profile."""
+        return self.stabilizer.enabled
+
+    def attach_engine(self, engine) -> GroupCommitter:
+        """Build the engine's group committer, bound to this pipeline."""
+        self.committer = GroupCommitter(
+            self.runtime,
+            engine,
+            max_group=self.config.group_commit_max,
+            window=self.config.group_commit_window,
+            window_cap=self.config.group_commit_window_cap,
+            pipeline=self,
+        )
+        return self.committer
+
+    # -- stabilization entry points ------------------------------------------
+    def stabilize(self, log_name: str, counter: int) -> Gen:
+        """Wait until ``(log, counter)`` is rollback-protected."""
+        yield from self.stabilizer(log_name, counter)
+
+    def stabilize_many(self, targets: Sequence[Tuple[str, int]]) -> Gen:
+        """Wait until every target is rollback-protected (one request)."""
+        yield from self.stabilizer.many(targets)
+
+    def background(self, log_name: str, counter: int) -> None:
+        """Fire-and-forget stabilization (commit records, GC edits)."""
+        self.stabilizer.background(log_name, counter)
+
+    def mean_wait(self) -> float:
+        return self.stabilizer.mean_wait()

@@ -10,14 +10,16 @@ one call each.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from ..sim.core import Event
 from ..storage.disk import DiskSnapshot
 from .cluster import TreatyCluster
 from .node import TreatyNode
+from .trusted_counter import CounterClient
 
 __all__ = [
+    "StableCounterResolver",
     "crash_and_recover",
     "rollback_attack",
     "tamper_attack",
@@ -25,6 +27,38 @@ __all__ = [
 ]
 
 Gen = Generator[Event, Any, Any]
+
+
+class StableCounterResolver:
+    """Caching, vector-capable stable-counter reader for recovery.
+
+    Behaves as the resolver callable that
+    :meth:`~repro.storage.engine.LSMEngine.recover` expects
+    (``(log_name) -> stable value``), but additionally exposes
+    :meth:`prefetch`, which the engine uses to resolve every live WAL
+    and Clog in *one* vectored quorum read instead of one query round
+    per log.  Values are cached, so the per-log freshness checks (and
+    the node's later Clog check) reuse the answers.
+    """
+
+    def __init__(self, counter_client: CounterClient):
+        self.counter_client = counter_client
+        self._cache: Dict[str, int] = {}
+        #: vectored quorum reads actually issued (for tests/metrics).
+        self.reads = 0
+
+    def prefetch(self, log_names: Sequence[str]) -> Gen:
+        """Resolve many logs with a single quorum-read round."""
+        missing = [name for name in log_names if name not in self._cache]
+        if missing:
+            self.reads += 1
+            values = yield from self.counter_client.read_stable_many(missing)
+            self._cache.update(values)
+
+    def __call__(self, log_name: str) -> Gen:
+        if log_name not in self._cache:
+            yield from self.prefetch([log_name])
+        return self._cache[log_name]
 
 
 def crash_and_recover(cluster: TreatyCluster, index: int) -> Gen:

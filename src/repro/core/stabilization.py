@@ -11,7 +11,7 @@ rollback-protected, and it centralizes the profile gate and statistics.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Sequence, Tuple
 
 from ..sim.core import Event
 from ..tee.runtime import NodeRuntime
@@ -49,6 +49,33 @@ class Stabilizer:
             log=log_name, counter=counter,
         )
         yield from self.counter_client.stabilize(log_name, counter)
+        span.close()
+        self.waits += 1
+        self.total_wait_time += self.runtime.now - start
+        self.runtime.metrics.histogram("stabilize.wait_s").observe(
+            self.runtime.now - start
+        )
+
+    def many(self, targets: Sequence[Tuple[str, int]]) -> Gen:
+        """Block until every ``(log, counter)`` target is stable.
+
+        The targets are registered together, so the counter service's
+        round driver covers them with a single echo-broadcast execution;
+        the caller pays one wait for the whole set (the group-commit
+        leader's batch stabilization).
+        """
+        if not self.enabled:
+            return
+        targets = [(log, counter) for log, counter in targets if counter > 0]
+        if not targets:
+            return
+        start = self.runtime.now
+        span = self.tracer.span(
+            "stabilize", "wait", node=self.runtime.name or None,
+            log=",".join(log for log, _ in targets),
+            counter=max(counter for _, counter in targets),
+        )
+        yield from self.counter_client.stabilize_many(targets)
         span.close()
         self.waits += 1
         self.total_wait_time += self.runtime.now - start

@@ -15,17 +15,26 @@ Implementation notes:
 
 * Every node hosts a :class:`CounterReplica` (a counter enclave).  The
   writing node's own replica participates locally (no network hop).
-* Stabilization requests for the same log are *batched*: while a round
-  is in flight, later requests raise the round's high-water mark, so a
-  burst of transactions shares one protocol execution — this is what
-  keeps the ~2 ms ROTE latency off the throughput path.
+* Protocol messages carry a *vector* of ``(log_name, value)`` targets,
+  so one echo-broadcast round stabilizes entries of many logs at once
+  (WAL batches and Clog decisions share a round) — the ROTE/LCM-style
+  amortization the durability pipeline is built on.
+* Stabilization requests are *batched*: while a round is in flight,
+  later requests raise the pending high-water marks, so a burst of
+  transactions shares one protocol execution — this is what keeps the
+  ~2 ms ROTE latency off the throughput path.  With
+  ``counter_vectoring`` on (the default) a single round driver serves
+  every log; off, each log runs its own driver (the pre-pipeline
+  baseline).
 * Replica processing is charged ~``rote_latency_mean / 2`` per round so
   the end-to-end stabilization latency reproduces ROTE's measured ~2 ms.
+  The charge is per *message*, not per target: a vectored round costs
+  the same as a single-log round, which is exactly the amortization.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..errors import FreshnessError
 from ..net.message import MsgType, TxMessage
@@ -38,18 +47,46 @@ from ..storage.format import Reader, Writer
 from ..tee.runtime import NodeRuntime
 from ..tee.sgx import SealingKey
 
-__all__ = ["CounterReplica", "CounterClient", "encode_counter_msg"]
+__all__ = [
+    "CounterReplica",
+    "CounterClient",
+    "encode_counter_msg",
+    "encode_counter_vector",
+    "decode_counter_vector",
+]
 
 Gen = Generator[Event, Any, Any]
 
+#: one stabilization target: a log and the counter value to protect.
+Target = Tuple[str, int]
+
+#: bucket edges for the ``stabilize.batch_size`` histogram (targets per
+#: vectored round).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
 
 def encode_counter_msg(log_name: str, value: int) -> bytes:
+    """Single-target payload (kept for sealed state and compatibility)."""
     return Writer().blob(log_name.encode()).u64(value).getvalue()
 
 
 def decode_counter_msg(data: bytes):
     reader = Reader(data)
     return reader.blob().decode(), reader.u64()
+
+
+def encode_counter_vector(targets: Sequence[Target]) -> bytes:
+    """Wire format of one protocol round: a vector of (log, value)."""
+    writer = Writer().u32(len(targets))
+    for log_name, value in targets:
+        writer.blob(log_name.encode()).u64(value)
+    return writer.getvalue()
+
+
+def decode_counter_vector(data: bytes) -> List[Target]:
+    reader = Reader(data)
+    count = reader.u32()
+    return [(reader.blob().decode(), reader.u64()) for _ in range(count)]
 
 
 class CounterReplica:
@@ -114,70 +151,103 @@ class CounterReplica:
         return max(0.0, self.rng.gauss(mean, jitter))
 
     def _on_update(self, message: TxMessage, src: str) -> Gen:
-        """Round 1: store the tentative value, reply with an echo."""
+        """Round 1: store the tentative values, reply with an echo.
+
+        One processing delay covers the whole vector — the enclave
+        transition and protected-memory update dominate, not the
+        per-target bookkeeping.
+        """
         yield self.runtime.sim.timeout(self._processing_delay())
-        log_name, value = decode_counter_msg(message.body)
+        targets = decode_counter_vector(message.body)
         self.updates_processed += 1
-        if value > self.echoed.get(log_name, 0):
-            self.echoed[log_name] = value
+        echoes = []
+        for log_name, value in targets:
+            if value > self.echoed.get(log_name, 0):
+                self.echoed[log_name] = value
+            echoes.append((log_name, self.echoed[log_name]))
         return TxMessage(
             MsgType.ACK,
             message.node_id,
             message.txn_id,
             message.op_id,
-            encode_counter_msg(log_name, self.echoed[log_name]),
+            encode_counter_vector(echoes),
         )
 
     def _on_confirm(self, message: TxMessage, src: str) -> Gen:
-        """Round 2: verify the value matches the stored echo, then ACK."""
+        """Round 2: verify every value matches a stored echo, then ACK.
+
+        A single target we never echoed poisons the whole round (NACK) —
+        a Byzantine-suspicious SE must not smuggle an unechoed value in
+        next to legitimate ones.
+        """
         yield self.runtime.sim.timeout(self._processing_delay())
-        log_name, value = decode_counter_msg(message.body)
-        if self.echoed.get(log_name, 0) < value:
-            # We never echoed this value: NACK (Byzantine-suspicious SE).
-            return TxMessage(
-                MsgType.FAIL, message.node_id, message.txn_id, message.op_id
-            )
-        if value > self.confirmed.get(log_name, 0):
-            self.confirmed[log_name] = value
-            self.tracer.event(
-                "counter", "confirm", node=self.node_name,
-                replica=self.node_name, log=log_name, value=value,
-            )
+        targets = decode_counter_vector(message.body)
+        for log_name, value in targets:
+            if self.echoed.get(log_name, 0) < value:
+                return TxMessage(
+                    MsgType.FAIL, message.node_id, message.txn_id, message.op_id
+                )
+        advanced = False
+        for log_name, value in targets:
+            if value > self.confirmed.get(log_name, 0):
+                self.confirmed[log_name] = value
+                advanced = True
+                self.tracer.event(
+                    "counter", "confirm", node=self.node_name,
+                    replica=self.node_name, log=log_name, value=value,
+                )
+        if advanced:
+            # One seal covers every confirmed target of the round.
             yield from self.seal_state()
         return TxMessage(
             MsgType.ACK, message.node_id, message.txn_id, message.op_id
         )
 
     def _on_read(self, message: TxMessage, src: str) -> Gen:
-        """Recovery: report the freshest value this replica knows."""
+        """Recovery: report the freshest values this replica knows."""
         yield from self.runtime.op_overhead()
-        log_name, _ = decode_counter_msg(message.body)
-        value = self.confirmed.get(log_name, 0)
+        queried = decode_counter_vector(message.body)
+        values = [
+            (log_name, self.confirmed.get(log_name, 0))
+            for log_name, _ in queried
+        ]
         return TxMessage(
             MsgType.RECOVERY_REPLY,
             message.node_id,
             message.txn_id,
             message.op_id,
-            encode_counter_msg(log_name, value),
+            encode_counter_vector(values),
         )
 
     # -- local fast path (the SE's own replica) -----------------------------------
-    def local_echo(self, log_name: str, value: int) -> None:
-        if value > self.echoed.get(log_name, 0):
-            self.echoed[log_name] = value
+    def local_echo(self, targets: Sequence[Target]) -> None:
+        for log_name, value in targets:
+            if value > self.echoed.get(log_name, 0):
+                self.echoed[log_name] = value
 
-    def local_confirm(self, log_name: str, value: int) -> Gen:
-        if value > self.confirmed.get(log_name, 0):
-            self.confirmed[log_name] = value
-            self.tracer.event(
-                "counter", "confirm", node=self.node_name,
-                replica=self.node_name, log=log_name, value=value,
-            )
+    def local_confirm(self, targets: Sequence[Target]) -> Gen:
+        advanced = False
+        for log_name, value in targets:
+            if value > self.confirmed.get(log_name, 0):
+                self.confirmed[log_name] = value
+                advanced = True
+                self.tracer.event(
+                    "counter", "confirm", node=self.node_name,
+                    replica=self.node_name, log=log_name, value=value,
+                )
+        if advanced:
             yield from self.seal_state()
 
 
 class CounterClient:
-    """The sender-enclave side: stabilizes log counters via the group."""
+    """The sender-enclave side: stabilizes log counters via the group.
+
+    The client keeps one pending high-water mark per log and a round
+    driver that snapshots *every* log's pending target into one vectored
+    protocol execution.  Waiters block on per-log :class:`Gate`\\ s, so a
+    round that stabilizes ``{wal: 7, clog: 3}`` wakes WAL and Clog
+    waiters together.
+    """
 
     def __init__(
         self,
@@ -199,18 +269,26 @@ class CounterClient:
         #: boot epoch: distinguishes operation ids across restarts so the
         #: peers' replay guards do not reject a recovered node's traffic.
         self.epoch = epoch
-        #: how long one round waits for stragglers beyond the quorum; a
-        #: crashed group member must not wedge the protocol (§VI: "any
-        #: faults ... can only affect availability", and only below q).
-        self.round_timeout = 0.05
-        #: backoff between retries when the quorum is unreachable.
-        self.retry_backoff = 0.1
-        self.max_retries = 100
+        config = runtime.config
+        self.round_timeout = config.counter_round_timeout
+        self.retry_backoff = config.counter_retry_backoff
+        self.max_retries = config.counter_max_retries
+        #: one driver for all logs (vectored) vs one driver per log.
+        self.vectoring = config.counter_vectoring
         self._gates: Dict[str, Gate] = {}
         self._pending_target: Dict[str, int] = {}
+        #: per-log driver flags (legacy mode only).
         self._round_active: Dict[str, bool] = {}
+        #: unified driver flag (vectored mode only).
+        self._driver_active = False
         self._op_seq = 0
         self.rounds_executed = 0
+        runtime.metrics.probe(
+            "counter.rounds_executed", lambda: self.rounds_executed
+        )
+        self._batch_hist = runtime.metrics.histogram(
+            "stabilize.batch_size", edges=BATCH_SIZE_BUCKETS
+        )
 
     def _gate(self, log_name: str) -> Gate:
         if log_name not in self._gates:
@@ -226,29 +304,81 @@ class CounterClient:
         return self._op_seq
 
     # -- stabilization ----------------------------------------------------------
+    def _register(self, log_name: str, value: int) -> None:
+        """Raise the pending high-water mark and ensure a driver runs."""
+        self._pending_target[log_name] = max(
+            self._pending_target.get(log_name, 0), value
+        )
+        if self.vectoring:
+            if not self._driver_active:
+                self._driver_active = True
+                self.runtime.sim.process(
+                    self._drive_vectored_rounds(), name="counter-se/vector"
+                )
+        elif not self._round_active.get(log_name):
+            self._round_active[log_name] = True
+            self.runtime.sim.process(
+                self._drive_rounds(log_name), name="counter-se/%s" % log_name
+            )
+
     def stabilize(self, log_name: str, value: int) -> Gen:
         """Block until ``log_name``'s counter is stable at >= ``value``."""
         gate = self._gate(log_name)
         if gate.value >= value:
             return
-        self._pending_target[log_name] = max(
-            self._pending_target.get(log_name, 0), value
-        )
-        if not self._round_active.get(log_name):
-            self._round_active[log_name] = True
-            self.runtime.sim.process(
-                self._drive_rounds(log_name), name="counter-se/%s" % log_name
-            )
+        self._register(log_name, value)
         yield gate.wait_for(value)
 
-    def _drive_rounds(self, log_name: str) -> Gen:
-        gate = self._gate(log_name)
+    def stabilize_many(self, targets: Sequence[Target]) -> Gen:
+        """Block until every ``(log, value)`` target is stable.
+
+        One request registers all targets before the round driver's next
+        snapshot, so they share a single echo-broadcast execution — this
+        is what the group-commit leader calls to stabilize its batch's
+        WAL counter alongside any pending Clog decisions.
+        """
+        waits = []
+        for log_name, value in targets:
+            gate = self._gate(log_name)
+            if gate.value >= value:
+                continue
+            self._register(log_name, value)
+            waits.append(gate.wait_for(value))
+        if waits:
+            yield self.runtime.sim.all_of(waits)
+
+    # -- round drivers ----------------------------------------------------------
+    def _pending_snapshot(self) -> List[Target]:
+        """Every log whose pending target is not yet stable, sorted for
+        deterministic wire payloads."""
+        return sorted(
+            (log_name, target)
+            for log_name, target in self._pending_target.items()
+            if target > self._gate(log_name).value
+        )
+
+    def _advance(self, targets: Sequence[Target]) -> None:
+        for log_name, value in targets:
+            gate = self._gate(log_name)
+            if value > gate.value:
+                gate.advance_to(value)
+                # The monitor learns stability from this event alone —
+                # it fires only after a genuine quorum confirm.
+                self.tracer.event(
+                    "stabilize", "advance", node=self.replica.node_name,
+                    log=log_name, value=value,
+                )
+
+    def _drive_vectored_rounds(self) -> Gen:
+        """The unified driver: one round covers every pending log."""
         retries = 0
         try:
-            while self._pending_target.get(log_name, 0) > gate.value:
-                target = self._pending_target[log_name]
+            while True:
+                targets = self._pending_snapshot()
+                if not targets:
+                    break
                 try:
-                    yield from self._run_protocol(log_name, target)
+                    yield from self._run_protocol(targets)
                 except FreshnessError:
                     retries += 1
                     if retries > self.max_retries:
@@ -256,23 +386,37 @@ class CounterClient:
                     yield self.runtime.sim.timeout(self.retry_backoff)
                     continue
                 retries = 0
-                gate.advance_to(target)
-                # The monitor learns stability from this event alone —
-                # it fires only after a genuine quorum confirm.
-                self.tracer.event(
-                    "stabilize", "advance", node=self.replica.node_name,
-                    log=log_name, value=target,
-                )
+                self._advance(targets)
+        finally:
+            self._driver_active = False
+
+    def _drive_rounds(self, log_name: str) -> Gen:
+        """Legacy per-log driver (``counter_vectoring=False`` baseline)."""
+        gate = self._gate(log_name)
+        retries = 0
+        try:
+            while self._pending_target.get(log_name, 0) > gate.value:
+                target = self._pending_target[log_name]
+                try:
+                    yield from self._run_protocol([(log_name, target)])
+                except FreshnessError:
+                    retries += 1
+                    if retries > self.max_retries:
+                        raise
+                    yield self.runtime.sim.timeout(self.retry_backoff)
+                    continue
+                retries = 0
+                self._advance([(log_name, target)])
         finally:
             self._round_active[log_name] = False
 
-    def _broadcast(self, msg_type: int, log_name: str, value: int) -> Gen:
+    def _broadcast(self, msg_type: int, targets: Sequence[Target]) -> Gen:
         """Send one round to all peers; returns the number of ACKs.
 
         Waits for every reply up to ``round_timeout`` — a crashed peer
         must not wedge the round once the quorum has answered.
         """
-        body = encode_counter_msg(log_name, value)
+        body = encode_counter_vector(targets)
         events = [
             self.rpc.enqueue(
                 peer,
@@ -298,35 +442,39 @@ class CounterClient:
                         acks += 1
         return acks
 
-    def _run_protocol(self, log_name: str, value: int) -> Gen:
-        """One echo-broadcast execution stabilizing ``value``."""
+    def _run_protocol(self, targets: Sequence[Target]) -> Gen:
+        """One echo-broadcast execution stabilizing a target vector."""
         self.rounds_executed += 1
+        self._batch_hist.observe(len(targets))
         # Round 1: update + echoes.
-        self.replica.local_echo(log_name, value)
-        acks = yield from self._broadcast(MsgType.COUNTER_UPDATE, log_name, value)
+        self.replica.local_echo(targets)
+        acks = yield from self._broadcast(MsgType.COUNTER_UPDATE, targets)
         if acks < self.quorum:
             raise FreshnessError(
-                "counter group unavailable: %d/%d echoes for %s"
-                % (acks, self.quorum, log_name)
+                "counter group unavailable: %d/%d echoes for %d targets"
+                % (acks, self.quorum, len(targets))
             )
         # Round 2: confirmation.
-        acks = yield from self._broadcast(MsgType.COUNTER_CONFIRM, log_name, value)
+        acks = yield from self._broadcast(MsgType.COUNTER_CONFIRM, targets)
         if acks < self.quorum:
             raise FreshnessError(
-                "counter group unavailable: %d/%d confirms for %s"
-                % (acks, self.quorum, log_name)
+                "counter group unavailable: %d/%d confirms for %d targets"
+                % (acks, self.quorum, len(targets))
             )
-        # Seal own state with the stabilized value (end of the protocol).
-        yield from self.replica.local_confirm(log_name, value)
+        # Seal own state with the stabilized values (end of the protocol).
+        yield from self.replica.local_confirm(targets)
 
     # -- recovery reads -------------------------------------------------------------
-    def read_stable(self, log_name: str) -> Gen:
-        """Quorum-read the freshest stable value for ``log_name``.
+    def read_stable_many(self, log_names: Sequence[str]) -> Gen:
+        """Quorum-read the freshest stable values for many logs at once.
 
         Used at recovery: "only log entries with counter value [up to]
-        the trusted service's value can be recovered".
+        the trusted service's value can be recovered".  One query round
+        covers every live WAL and Clog instead of a round per log.
+        Returns ``{log_name: value}``.
         """
-        body = encode_counter_msg(log_name, 0)
+        log_names = list(log_names)
+        body = encode_counter_vector([(name, 0) for name in log_names])
         events = [
             self.rpc.enqueue(
                 peer,
@@ -341,7 +489,10 @@ class CounterClient:
             )
             for peer in self.peers
         ]
-        values = [self.replica.confirmed.get(log_name, 0)]
+        freshest = {
+            name: self.replica.confirmed.get(name, 0) for name in log_names
+        }
+        responders = 1  # the local replica always answers
         if events:
             yield self.runtime.sim.any_of(
                 [
@@ -353,16 +504,16 @@ class CounterClient:
             if event.triggered and event.ok:
                 reply = event.value
                 if reply.msg_type == MsgType.RECOVERY_REPLY:
-                    _log, value = decode_counter_msg(reply.body)
-                    values.append(value)
-        if len(values) < self.quorum:
+                    responders += 1
+                    for log_name, value in decode_counter_vector(reply.body):
+                        if value > freshest.get(log_name, 0):
+                            freshest[log_name] = value
+        if responders < self.quorum:
             raise FreshnessError("cannot reach counter quorum for recovery")
-        freshest = max(values)
-        gate = self._gate(log_name)
-        if freshest > gate.value:
-            gate.advance_to(freshest)
-            self.tracer.event(
-                "stabilize", "advance", node=self.replica.node_name,
-                log=log_name, value=freshest,
-            )
+        self._advance(sorted(freshest.items()))
         return freshest
+
+    def read_stable(self, log_name: str) -> Gen:
+        """Quorum-read the freshest stable value for one log."""
+        values = yield from self.read_stable_many([log_name])
+        return values[log_name]

@@ -99,6 +99,7 @@ class Observability:
         require_stabilization: bool = False,
         strict_monitor: bool = True,
         trace_processes: bool = False,
+        liveness_timeout: Optional[float] = None,
     ):
         self.sim = sim
         self.hub = MetricsHub()
@@ -113,6 +114,7 @@ class Observability:
             self.monitor = InvariantMonitor(
                 require_stabilization=require_stabilization,
                 strict=strict_monitor,
+                liveness_timeout=liveness_timeout,
             ).attach(self.tracer)
         sim.obs = self
 

@@ -17,6 +17,11 @@ I3 **counter monotonicity** — trusted-counter stable values and replica
 I4 **recovery resolution** — every node that recovers with prepared
    transactions eventually resolves all of them (checked by
    :meth:`InvariantMonitor.check_quiescent` at end of run).
+I5 **bounded liveness** — absent crashes, every prepare-ACKed
+   transaction reaches a logged decision within ``liveness_timeout``
+   simulated seconds, so a stuck 2PC fiber trips the monitor instead of
+   a test timeout.  Any node crash clears the pending set (a crashed
+   coordinator legitimately delays decisions until recovery).
 
 The monitor learns stability from the counter service's own ``advance``
 events, *not* from the components under check — a broken stabilization
@@ -39,13 +44,16 @@ class InvariantMonitor:
     """Checks 2PC safety invariants against the live event stream."""
 
     def __init__(self, require_stabilization: bool = False,
-                 strict: bool = True):
+                 strict: bool = True,
+                 liveness_timeout: Optional[float] = None):
         #: when True, I1/I2 require counter stability, not just logging
         #: (set from the profile: only stabilization profiles promise it).
         self.require_stabilization = require_stabilization
         #: raise :class:`MonitorViolation` at the violating instant;
         #: False collects into :attr:`violations` instead.
         self.strict = strict
+        #: I5 horizon in simulated seconds; ``None`` disables the check.
+        self.liveness_timeout = liveness_timeout
         self.violations: List[str] = []
         self.events_seen = 0
         #: highest stable counter value observed per log name.
@@ -56,6 +64,9 @@ class InvariantMonitor:
         self.decisions: Dict[str, Dict[str, Any]] = {}
         #: node -> set of prepared txns recovered but not yet resolved.
         self.unresolved: Dict[str, Set[str]] = {}
+        #: txn -> sim time of its first prepare ACK, awaiting a decision
+        #: (insertion-ordered, so the front is always the oldest).
+        self.awaiting_decision: Dict[str, float] = {}
 
     # -- wiring ------------------------------------------------------------
     def attach(self, tracer) -> "InvariantMonitor":
@@ -80,6 +91,8 @@ class InvariantMonitor:
         handler = _HANDLERS.get(key)
         if handler is not None:
             handler(self, rec)
+        if self.liveness_timeout is not None:
+            self._check_liveness(rec["t"])
 
     # -- invariant checks --------------------------------------------------
     def _on_stable_advance(self, rec: Dict[str, Any]) -> None:
@@ -108,6 +121,9 @@ class InvariantMonitor:
         self.confirmed[(replica, log)] = value
 
     def _on_prepare_ack(self, rec: Dict[str, Any]) -> None:
+        txn = rec.get("txn")
+        if txn is not None and txn not in self.decisions:
+            self.awaiting_decision.setdefault(txn, rec["t"])
         if not self.require_stabilization:
             return
         log = rec["args"]["log"]
@@ -126,6 +142,7 @@ class InvariantMonitor:
             "log": rec["args"]["log"],
             "counter": rec["args"]["counter"],
         }
+        self.awaiting_decision.pop(rec["txn"], None)
 
     def _on_commit_apply(self, rec: Dict[str, Any]) -> None:
         txn = rec["txn"]
@@ -148,6 +165,9 @@ class InvariantMonitor:
 
     def _on_abort_apply(self, rec: Dict[str, Any]) -> None:
         self._resolve(rec["node"], rec["txn"])
+        # Presumed abort: a participant may abort without the
+        # coordinator ever logging a decision entry.
+        self.awaiting_decision.pop(rec["txn"], None)
 
     def _on_recover_done(self, rec: Dict[str, Any]) -> None:
         prepared = rec["args"].get("prepared") or []
@@ -156,6 +176,36 @@ class InvariantMonitor:
 
     def _on_prepared_resolved(self, rec: Dict[str, Any]) -> None:
         self._resolve(rec["node"], rec["txn"])
+        self.awaiting_decision.pop(rec["txn"], None)
+
+    def _on_crash(self, rec: Dict[str, Any]) -> None:
+        # I5 promises bounded liveness *absent crashes*: a crashed
+        # coordinator or participant legitimately stalls decisions until
+        # recovery, so the pending set starts over.
+        self.awaiting_decision.clear()
+
+    # -- I5: bounded liveness ----------------------------------------------
+    def _check_liveness(self, now: float) -> None:
+        """Flag prepares that outlived the decision horizon.
+
+        ``awaiting_decision`` is insertion-ordered, so scanning stops at
+        the first entry inside the horizon — the common case is O(1).
+        """
+        overdue = []
+        for txn, since in self.awaiting_decision.items():
+            if now - since <= self.liveness_timeout:
+                break
+            overdue.append((txn, since))
+        for txn, since in overdue:
+            # Remove first: a strict monitor raises on the first one,
+            # and a lenient one must not re-report it every event.
+            del self.awaiting_decision[txn]
+        for txn, since in overdue:
+            self._violate(
+                "I5: txn %s was prepare-ACKed at t=%.6f but reached no "
+                "decision by t=%.6f (> %.1fs liveness bound)"
+                % (txn, since, now, self.liveness_timeout)
+            )
 
     def _resolve(self, node: Optional[str], txn: Optional[str]) -> None:
         pending = self.unresolved.get(node)
@@ -165,13 +215,20 @@ class InvariantMonitor:
                 del self.unresolved[node]
 
     # -- end-of-run checks -------------------------------------------------
-    def check_quiescent(self) -> None:
-        """I4: assert every recovered node resolved its prepared txns."""
+    def check_quiescent(self, now: Optional[float] = None) -> None:
+        """I4: assert every recovered node resolved its prepared txns.
+
+        With ``now`` (final sim time), also runs a last I5 sweep so a
+        transaction that stalled near the end of the run is still caught
+        even though no later event advanced the monitor's clock.
+        """
         for node, pending in sorted(self.unresolved.items()):
             self._violate(
                 "I4: node %s still has unresolved prepared txns after "
                 "recovery: %s" % (node, sorted(pending))
             )
+        if now is not None and self.liveness_timeout is not None:
+            self._check_liveness(now)
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -192,4 +249,5 @@ _HANDLERS = {
     ("twopc", "abort_apply"): InvariantMonitor._on_abort_apply,
     ("node", "recover_done"): InvariantMonitor._on_recover_done,
     ("twopc", "prepared_resolved"): InvariantMonitor._on_prepared_resolved,
+    ("node", "crash"): InvariantMonitor._on_crash,
 }

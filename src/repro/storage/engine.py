@@ -459,6 +459,14 @@ class LSMEngine:
         manifest_entries = yield from self.manifest.log.replay()
         self.manifest.log.reset_from_replay(manifest_entries)
 
+        # A vector-capable resolver (core.recovery.StableCounterResolver)
+        # fetches every live log's stable value with one quorum read now
+        # that the MANIFEST told us which logs exist; the per-log
+        # ``limit_for`` calls below then hit its cache.
+        prefetch = getattr(stable_counters, "prefetch", None)
+        if prefetch is not None and (state.live_wals or state.live_clogs):
+            yield from prefetch(list(state.live_wals) + list(state.live_clogs))
+
         self.levels = {}
         for level, tables in state.tables.items():
             self.levels[level] = list(tables)

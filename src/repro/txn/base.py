@@ -129,8 +129,8 @@ class LocalTransaction:
             self._finalize(TxnStatus.COMMITTED)
             return 0
         try:
-            counter, log_name = yield from self.manager.group.submit(
-                self.txn_id, writes, self._commit_validator()
+            counter, log_name, stable_event = yield from self.manager.group.submit(
+                self.txn_id, writes, self._commit_validator(), wait_stable=True
             )
         except TransactionAborted:
             yield from self.rollback()
@@ -138,7 +138,12 @@ class LocalTransaction:
         self.wal_counter = counter
         # Release locks *before* the stabilization wait (§VIII-C).
         self._finalize(TxnStatus.COMMITTED)
-        yield from self.manager.stabilize(log_name, counter)
+        if stable_event is not None:
+            # The whole group-commit batch shares this one wait, driven
+            # by a single pipeline stabilization request.
+            yield stable_event
+        else:
+            yield from self.manager.stabilize(log_name, counter)
         return counter
 
     def rollback(self) -> Gen:

@@ -6,12 +6,23 @@ leader that merges their and all followers' Txs buffers into a larger
 buffer.  The leader then writes this buffer into WAL and MemTable."
 
 A commit request enters the queue; whichever fiber finds no active
-leader becomes the leader, drains up to ``max_group`` requests (its own
-included), performs optional OCC validation, assigns sequence numbers,
-writes one batched WAL record set, applies everything to the MemTable
-and wakes each follower with its outcome.  Validation + sequence
-assignment + MemTable application happen inside the leader's critical
-section, which is what makes OCC validation atomic.
+leader becomes the leader, waits out the commit window (adaptive by
+default: a bounded multiple of the observed submit arrival gap, so a
+burst is collected without penalizing an idle node), drains up to
+``max_group`` requests (its own included), performs optional OCC
+validation, assigns sequence numbers, writes one batched WAL record set,
+applies everything to the MemTable and wakes each follower with its
+outcome.  Validation + sequence assignment + MemTable application happen
+inside the leader's critical section, which is what makes OCC validation
+atomic.
+
+When a :class:`~repro.core.pipeline.DurabilityPipeline` is attached, the
+leader also submits the batch's stabilization as *one* request — every
+member that asked to wait for rollback protection shares a single event
+driven by one counter wait on the batch's highest WAL counter, instead
+of N per-transaction gate waits racing the round driver.  The shared
+wait runs in a background fiber so the leader can drain the next batch
+while the ~2 ms counter round is in flight.
 """
 
 from __future__ import annotations
@@ -32,11 +43,19 @@ Gen = Generator[Event, Any, Any]
 # engine to compare versions).
 Validator = Callable[[], Generator[Event, Any, None]]
 
+#: smoothing factor for the submit inter-arrival EWMA.
+_GAP_ALPHA = 0.2
+#: the adaptive window waits this multiple of the mean arrival gap.
+_GAP_MULTIPLE = 4.0
+
+#: bucket edges for the ``group_commit.batch_size`` histogram.
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
 
 class CommitRequest:
     """One transaction's commit submission."""
 
-    __slots__ = ("txn_id", "writes", "validator", "outcome")
+    __slots__ = ("txn_id", "writes", "validator", "outcome", "wait_stable")
 
     def __init__(
         self,
@@ -44,42 +63,97 @@ class CommitRequest:
         writes: List[Tuple[bytes, Optional[bytes]]],
         validator: Optional[Validator],
         outcome: Event,
+        wait_stable: bool = False,
     ):
         self.txn_id = txn_id
         self.writes = writes
         self.validator = validator
         self.outcome = outcome
+        self.wait_stable = wait_stable
 
 
 class GroupCommitter:
     """Batches commit requests into single WAL writes."""
 
-    def __init__(self, runtime: NodeRuntime, engine: LSMEngine, max_group: int = 16):
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        engine: LSMEngine,
+        max_group: int = 16,
+        window: Optional[float] = 0.0,
+        window_cap: float = 4.0e-4,
+        pipeline=None,
+    ):
         self.runtime = runtime
         self.engine = engine
         self.max_group = max_group
+        #: ``None`` = adaptive; ``0.0`` = immediate drain; >0 fixed wait.
+        self.window = window
+        self.window_cap = window_cap
+        #: the owning DurabilityPipeline, if the node runs one.
+        self.pipeline = pipeline
         self._queue: List[CommitRequest] = []
         self._leader_active = False
+        self._last_submit: Optional[float] = None
+        self._gap_ewma: Optional[float] = None
         self.groups_formed = 0
         self.committed = 0
+        self._batch_hist = runtime.metrics.histogram(
+            "group_commit.batch_size", edges=_BATCH_BUCKETS
+        )
 
+    # -- window -------------------------------------------------------------
+    def _observe_arrival(self) -> None:
+        now = self.runtime.now
+        if self._last_submit is not None:
+            gap = now - self._last_submit
+            if self._gap_ewma is None:
+                self._gap_ewma = gap
+            else:
+                self._gap_ewma += _GAP_ALPHA * (gap - self._gap_ewma)
+        self._last_submit = now
+
+    def window_delay(self) -> float:
+        """How long the new leader should wait for followers to join."""
+        if len(self._queue) >= self.max_group:
+            return 0.0
+        if self.window is not None:
+            return self.window
+        if self._gap_ewma is None:
+            # No arrival history yet: drain immediately (idle node).
+            return 0.0
+        return min(self.window_cap, self._gap_ewma * _GAP_MULTIPLE)
+
+    # -- submission ---------------------------------------------------------
     def submit(
         self,
         txn_id: bytes,
         writes: List[Tuple[bytes, Optional[bytes]]],
         validator: Optional[Validator] = None,
+        wait_stable: bool = False,
     ) -> Gen:
-        """Commit ``writes`` durably; returns the WAL counter value.
+        """Commit ``writes`` durably.
+
+        Returns ``(counter, log_name, stable_event)``: the WAL counter
+        value, the WAL's log name, and — iff ``wait_stable`` was set and
+        a durability pipeline is attached — the batch's shared
+        stabilization event (``None`` otherwise; the caller falls back
+        to its own per-transaction stabilization).  The outcome fires as
+        soon as the batch's WAL write is durable, so callers can release
+        locks *before* waiting out rollback protection (§VIII-C).
 
         Raises :class:`ConflictError` if the validator vetoes.
         """
+        self._observe_arrival()
         outcome = self.runtime.sim.event()
-        self._queue.append(CommitRequest(txn_id, writes, validator, outcome))
+        self._queue.append(
+            CommitRequest(txn_id, writes, validator, outcome, wait_stable)
+        )
         if not self._leader_active:
             self._leader_active = True
             # This fiber becomes the leader and drives the batch;
             # "defer logging (yield) at commit" lets more requests join.
-            yield self.runtime.sim.timeout(0)
+            yield self.runtime.sim.timeout(self.window_delay())
             yield from self._lead()
         result = yield outcome
         return result
@@ -126,7 +200,42 @@ class GroupCommitter:
         # crash can never persist a later batch without this one.
         counters = yield from self.engine.log_commits(records)
         log_name = self.engine.wal_log_name
+        self._batch_hist.observe(len(admitted))
+        stable_event = None
+        if self.pipeline is not None and self.pipeline.enabled:
+            top = max(
+                (counter for request, counter in zip(admitted, counters)
+                 if request.wait_stable),
+                default=0,
+            )
+            if top > 0:
+                stable_event = self.runtime.sim.event()
+                self._spawn_batch_stabilize(log_name, top, stable_event)
         for request, counter in zip(admitted, counters):
             self.committed += 1
             if not request.outcome.triggered:
-                request.outcome.succeed((counter, log_name))
+                request.outcome.succeed((
+                    counter,
+                    log_name,
+                    stable_event if request.wait_stable else None,
+                ))
+
+    def _spawn_batch_stabilize(
+        self, log_name: str, counter: int, stable_event: Event
+    ) -> None:
+        """One stabilization request for the whole batch, off the
+        leader's critical path (the next batch must not queue behind the
+        ~2 ms counter round)."""
+
+        def run() -> Gen:
+            try:
+                yield from self.pipeline.stabilize(log_name, counter)
+            except BaseException as exc:  # noqa: BLE001 - modelled fault
+                stable_event.fail(exc)
+                stable_event.defuse()
+                return
+            stable_event.succeed(True)
+
+        self.runtime.sim.process(
+            run(), name="gc-stabilize/%s" % log_name
+        )

@@ -37,6 +37,7 @@ class TransactionManager:
         config: ClusterConfig,
         stabilizer: Optional[Stabilizer] = None,
         name: str = "node0",
+        pipeline=None,
     ):
         self.runtime = runtime
         self.engine = engine
@@ -50,7 +51,24 @@ class TransactionManager:
         runtime.metrics.probe(
             "locks.acquisitions", lambda: self.locks.acquisitions
         )
-        self.group = GroupCommitter(runtime, engine, max_group=config.group_commit_max)
+        #: the node's DurabilityPipeline, when it runs one — the group
+        #: committer is then built by (and bound to) the pipeline so the
+        #: batch's stabilization is scheduled as one request.
+        self.pipeline = pipeline
+        if pipeline is not None:
+            self.group = pipeline.attach_engine(engine)
+            if stabilizer is None:
+                stabilizer = pipeline.stabilizer
+        else:
+            # Standalone mode (unit tests of lower layers): no pipeline,
+            # per-transaction stabilization via the injected hook.
+            self.group = GroupCommitter(
+                runtime,
+                engine,
+                max_group=config.group_commit_max,
+                window=config.group_commit_window,
+                window_cap=config.group_commit_window_cap,
+            )
         self.lock_timeout = config.lock_timeout
         self._stabilizer = stabilizer
         self._txn_seq = itertools.count(1)

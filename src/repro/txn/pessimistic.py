@@ -63,12 +63,15 @@ class PessimisticTxn(LocalTransaction):
             )
         writes = self.buffer.items()
         self.engine.forget_prepared(self.txn_id)
-        counter, log_name = yield from self.manager.group.submit(
-            self.txn_id, writes, None
+        counter, log_name, stable_event = yield from self.manager.group.submit(
+            self.txn_id, writes, None, wait_stable=True
         )
         self.wal_counter = counter
         self._finalize(TxnStatus.COMMITTED)
-        yield from self.manager.stabilize(log_name, counter)
+        if stable_event is not None:
+            yield stable_event
+        else:
+            yield from self.manager.stabilize(log_name, counter)
         return counter
 
     def commit_prepared_async(self) -> Gen:
@@ -86,8 +89,11 @@ class PessimisticTxn(LocalTransaction):
             )
         writes = self.buffer.items()
         self.engine.forget_prepared(self.txn_id)
-        counter, log_name = yield from self.manager.group.submit(
-            self.txn_id, writes, None
+        # wait_stable=False: the commit record needs no rollback
+        # protection before the client reply, so this request must not
+        # join the batch's shared stabilization wait either.
+        counter, log_name, _ = yield from self.manager.group.submit(
+            self.txn_id, writes, None, wait_stable=False
         )
         self.wal_counter = counter
         self._finalize(TxnStatus.COMMITTED)

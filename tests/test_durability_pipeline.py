@@ -1,0 +1,318 @@
+"""The unified durability pipeline: vectored counter rounds,
+stabilization-aware group commit, and the I5 liveness monitor."""
+
+import pytest
+
+from repro.config import ClusterConfig, TREATY_FULL
+from repro.core import (
+    StableCounterResolver,
+    TreatyCluster,
+    crash_and_recover,
+    rollback_attack,
+    snapshot_node_disk,
+)
+from repro.errors import FreshnessError
+from repro.obs import InvariantMonitor, MonitorViolation, Tracer
+from repro.sim import Simulator
+
+
+def make_cluster(**overrides):
+    config = ClusterConfig(**overrides)
+    return TreatyCluster(profile=TREATY_FULL, config=config).start()
+
+
+def local_keys(cluster, node_index, count=4, tag=b"dp"):
+    keys, i = [], 0
+    while len(keys) < count:
+        key = b"%s-%05d" % (tag, i)
+        if cluster.partitioner(key) == node_index:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+# -- vectored counter rounds ---------------------------------------------------
+
+
+class TestVectoredRounds:
+    def test_concurrent_logs_share_one_round(self):
+        """WAL- and Clog-style targets on different logs coalesce into a
+        single echo-broadcast execution."""
+        cluster = make_cluster()
+        client = cluster.nodes[0].counter_client
+        before = client.rounds_executed
+
+        def waiter(log, value):
+            yield from client.stabilize(log, value)
+
+        def body():
+            events = [
+                cluster.sim.process(waiter("vec-log-a", 5), name="wa"),
+                cluster.sim.process(waiter("vec-log-b", 3), name="wb"),
+            ]
+            yield cluster.sim.all_of(events)
+
+        cluster.run(body())
+        assert client.rounds_executed - before == 1
+        assert client.stable_value("vec-log-a") == 5
+        assert client.stable_value("vec-log-b") == 3
+
+    def test_per_log_baseline_runs_one_round_per_log(self):
+        cluster = make_cluster(counter_vectoring=False)
+        client = cluster.nodes[0].counter_client
+        before = client.rounds_executed
+
+        def waiter(log, value):
+            yield from client.stabilize(log, value)
+
+        def body():
+            events = [
+                cluster.sim.process(waiter("leg-log-a", 5), name="wa"),
+                cluster.sim.process(waiter("leg-log-b", 3), name="wb"),
+            ]
+            yield cluster.sim.all_of(events)
+
+        cluster.run(body())
+        assert client.rounds_executed - before == 2
+
+    def test_stabilize_many_is_one_request(self):
+        cluster = make_cluster()
+        client = cluster.nodes[0].counter_client
+        before = client.rounds_executed
+
+        def body():
+            yield from client.stabilize_many(
+                [("many-log-a", 4), ("many-log-b", 9), ("many-log-c", 1)]
+            )
+
+        cluster.run(body())
+        assert client.rounds_executed - before == 1
+        for log, value in (("many-log-a", 4), ("many-log-b", 9),
+                           ("many-log-c", 1)):
+            assert client.stable_value(log) == value
+
+    def test_rounds_per_txn_drop_at_least_2x_vs_per_log(self):
+        """Acceptance: under a concurrent workload the vectored pipeline
+        executes >=2x fewer counter rounds per committed transaction than
+        the per-log baseline (same seed, same workload)."""
+        from repro.bench.harness import durability_smoke
+
+        per_txn = {}
+        for vectoring in (True, False):
+            metrics = durability_smoke(vectoring=vectoring)
+            durability = metrics.extra_info["obs"]["durability"]
+            assert metrics.committed > 50
+            per_txn[vectoring] = durability["rounds_per_committed_txn"]
+        assert per_txn[False] / per_txn[True] >= 2.0
+
+
+# -- vectored recovery reads ---------------------------------------------------
+
+
+class TestVectoredRecovery:
+    def test_resolver_prefetches_many_logs_in_one_read(self):
+        cluster = make_cluster()
+        client = cluster.nodes[0].counter_client
+
+        def body():
+            yield from client.stabilize_many([("rr-log-a", 7), ("rr-log-b", 2)])
+            resolver = StableCounterResolver(cluster.nodes[1].counter_client)
+            yield from resolver.prefetch(["rr-log-a", "rr-log-b", "rr-log-c"])
+            a = yield from resolver("rr-log-a")
+            b = yield from resolver("rr-log-b")
+            c = yield from resolver("rr-log-c")
+            return resolver.reads, (a, b, c)
+
+        reads, values = cluster.run(body())
+        assert reads == 1  # the cached calls issue no further rounds
+        assert values == (7, 2, 0)
+
+    def test_committed_data_survives_crash_with_vectored_reads(self):
+        cluster = make_cluster()
+        keys = local_keys(cluster, 1)
+
+        def commit():
+            txn = cluster.nodes[1].coordinator.begin()
+            for key in keys:
+                yield from txn.put(key, b"v-" + key)
+            yield from txn.commit()
+
+        cluster.run(commit())
+        cluster.run(crash_and_recover(cluster, 1))
+
+        def read(key):
+            txn = cluster.nodes[1].coordinator.begin()
+            value = yield from txn.get(key)
+            yield from txn.commit()
+            return value
+
+        for key in keys:
+            assert cluster.run(read(key)) == b"v-" + key
+
+    def test_rollback_attack_still_detected(self):
+        cluster = make_cluster()
+        keys = local_keys(cluster, 1, tag=b"ra")
+
+        def commit(key, value):
+            txn = cluster.nodes[1].coordinator.begin()
+            yield from txn.put(key, value)
+            yield from txn.commit()
+
+        cluster.run(commit(keys[0], b"old"))
+        stale = snapshot_node_disk(cluster, 1)
+        cluster.run(commit(keys[1], b"new"))
+        with pytest.raises(FreshnessError):
+            cluster.run(rollback_attack(cluster, 1, stale))
+
+
+# -- stabilization-aware group commit ------------------------------------------
+
+
+class TestGroupCommitWindow:
+    def _staggered_submits(self, cluster, count=6, gap=2e-5):
+        node = cluster.nodes[0]
+        group = node.manager.group
+
+        def submitter(i):
+            yield cluster.sim.timeout(i * gap)
+            yield from group.submit(
+                b"gcw-%02d" % i, [(b"gcw-key-%02d" % i, b"v")]
+            )
+
+        def body():
+            events = [
+                cluster.sim.process(submitter(i), name="s%d" % i)
+                for i in range(count)
+            ]
+            yield cluster.sim.all_of(events)
+
+        cluster.run(body())
+        return group
+
+    def test_fixed_window_collects_staggered_burst_into_one_group(self):
+        cluster = make_cluster(group_commit_window=2e-4)
+        group = self._staggered_submits(cluster)
+        assert group.groups_formed == 1
+        assert group.committed == 6
+
+    def test_zero_window_forms_more_groups(self):
+        cluster = make_cluster(group_commit_window=0.0)
+        group = self._staggered_submits(cluster)
+        assert group.groups_formed >= 2
+        assert group.committed == 6
+
+    def test_adaptive_window_tracks_arrival_gap(self):
+        cluster = make_cluster()  # group_commit_window=None -> adaptive
+        group = cluster.nodes[0].manager.group
+        assert group.window is None
+        # No arrival history: an idle node drains immediately.
+        assert group.window_delay() == 0.0
+        group._gap_ewma = 5e-5
+        assert group.window_delay() == pytest.approx(2e-4)
+        # The wait is bounded by the configured cap...
+        group._gap_ewma = 1.0
+        assert group.window_delay() == cluster.config.group_commit_window_cap
+        # ...and skipped entirely once the queue is already full.
+        group._queue = [None] * group.max_group
+        assert group.window_delay() == 0.0
+
+    def test_batch_shares_one_stabilization_event(self):
+        cluster = make_cluster(group_commit_window=2e-4)
+        node = cluster.nodes[0]
+        group = node.manager.group
+        client = node.counter_client
+        before = client.rounds_executed
+        results = []
+
+        def submitter(i):
+            result = yield from group.submit(
+                b"shr-%02d" % i, [(b"shr-key-%02d" % i, b"v")],
+                wait_stable=True,
+            )
+            results.append(result)
+
+        def body():
+            events = [
+                cluster.sim.process(submitter(i), name="s%d" % i)
+                for i in range(4)
+            ]
+            yield cluster.sim.all_of(events)
+            # Everyone shares the batch's stabilization event; waiting on
+            # it yields once the one counter round completes.
+            yield results[0][2]
+
+        cluster.run(body())
+        assert group.groups_formed == 1
+        events = {id(stable_event) for _, _, stable_event in results}
+        assert len(events) == 1  # one shared event for the whole batch
+        counters = [counter for counter, _, _ in results]
+        assert client.stable_value(results[0][1]) >= max(counters)
+        assert client.rounds_executed - before == 1
+
+
+# -- I5: bounded liveness ------------------------------------------------------
+
+
+class TestLivenessMonitor:
+    def _monitored_tracer(self, timeout=1.0, strict=True):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        monitor = InvariantMonitor(
+            strict=strict, liveness_timeout=timeout
+        ).attach(tracer)
+        return sim, tracer, monitor
+
+    def test_stuck_prepare_trips_i5(self):
+        sim, tracer, monitor = self._monitored_tracer()
+        tracer.event("twopc", "prepare_ack", node="node1", txn="aa",
+                     log="node1/wal", counter=1)
+        sim.now = 2.0
+        with pytest.raises(MonitorViolation, match="I5"):
+            tracer.event("net", "tick")  # any later event advances the clock
+        assert "aa" not in monitor.awaiting_decision
+
+    def test_decision_within_bound_is_green(self):
+        sim, tracer, monitor = self._monitored_tracer()
+        tracer.event("twopc", "prepare_ack", node="node1", txn="bb",
+                     log="node1/wal", counter=1)
+        sim.now = 0.5
+        tracer.event("twopc", "decision", node="node0", txn="bb",
+                     kind="commit", log="node0/clog", counter=1)
+        sim.now = 5.0
+        tracer.event("net", "tick")
+        assert monitor.green
+
+    def test_crash_clears_pending_obligations(self):
+        sim, tracer, monitor = self._monitored_tracer()
+        tracer.event("twopc", "prepare_ack", node="node1", txn="cc",
+                     log="node1/wal", counter=1)
+        tracer.event("node", "crash", node="node0")
+        sim.now = 5.0
+        tracer.event("net", "tick")
+        assert monitor.green
+
+    def test_check_quiescent_sweeps_the_tail(self):
+        sim, tracer, monitor = self._monitored_tracer(strict=False)
+        sim.now = 3.0
+        tracer.event("twopc", "prepare_ack", node="node1", txn="dd",
+                     log="node1/wal", counter=1)
+        monitor.check_quiescent(now=10.0)
+        assert any(v.startswith("I5") for v in monitor.violations)
+
+    def test_full_run_under_liveness_monitor_is_green(self):
+        cluster = make_cluster(monitor=True, monitor_liveness_timeout_s=1.0)
+        keys = [local_keys(cluster, i, 1, tag=b"lv")[0] for i in range(3)]
+
+        def body():
+            txn = cluster.session(cluster.client_machine()).begin()
+            for key in keys:
+                yield from txn.put(key, b"live")
+            yield from txn.commit()
+
+        cluster.run(body())
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        monitor = cluster.obs.monitor
+        monitor.check_quiescent(now=cluster.sim.now)
+        assert monitor.green
+        assert monitor.liveness_timeout == 1.0
+        assert not monitor.awaiting_decision
