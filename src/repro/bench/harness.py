@@ -377,13 +377,16 @@ def sweep_group_commit_window(
     windows: Optional[List[Optional[float]]] = None,
     num_clients: Optional[int] = None,
     duration: Optional[float] = None,
+    arrivals: str = "closed",
 ) -> List[Tuple[str, MetricsCollector]]:
     """Sweep the group-commit window and report the latency/throughput
     frontier.
 
     ``None`` in ``windows`` selects the adaptive (trace-informed)
     window; ``0.0`` is the legacy immediate-dispatch behaviour; positive
-    values are fixed windows in simulated seconds.
+    values are fixed windows in simulated seconds.  ``arrivals`` picks
+    the YCSB arrival process (``"closed"`` or ``"bursty"`` on-off with
+    Pareto idle gaps — the case where the adaptive window's EWMAs move).
     """
     from ..config import TREATY_FULL
 
@@ -406,8 +409,21 @@ def sweep_group_commit_window(
             num_clients=num_clients,
             duration=duration,
             warmup=duration * 0.25,
+            arrivals=arrivals,
         )
         _attach_phase_breakdown(metrics, cluster)
+        windows_seen = sorted(
+            node.manager.group.window_delay() for node in cluster.nodes
+        )
+        metrics.extra_info["adaptive_window"] = {
+            "delays_s": windows_seen,
+            "gap_ewma_s": [
+                node.manager.group._gap_ewma for node in cluster.nodes
+            ],
+            "stab_ewma_s": [
+                node.manager.group._stab_ewma for node in cluster.nodes
+            ],
+        }
         results.append((label, metrics))
     return results
 

@@ -267,7 +267,8 @@ def _bench_sweep_window(args: argparse.Namespace) -> int:
             for token in args.windows.split(",")
         ]
     results = sweep_group_commit_window(
-        windows=windows, num_clients=args.clients, duration=args.duration
+        windows=windows, num_clients=args.clients, duration=args.duration,
+        arrivals=args.arrivals,
     )
     rows = []
     for label, metrics in results:
@@ -373,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated window values in microseconds for "
              "sweep-window ('adaptive' selects the EWMA window), "
              "e.g. '0,50,100,adaptive'",
+    )
+    bench.add_argument(
+        "--arrivals", default="closed", choices=["closed", "bursty"],
+        help="sweep-window arrival process: closed loop or bursty "
+             "(on-off with Pareto idle gaps)",
     )
     bench.set_defaults(func=cmd_bench)
 

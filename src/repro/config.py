@@ -267,6 +267,16 @@ class ClusterConfig:
     #: amortization).  False falls back to one round driver per log —
     #: the pre-pipeline baseline, kept for comparison benchmarks.
     counter_vectoring: bool = True
+    #: piggyback trusted-counter targets on 2PC messages: participants
+    #: return their prepare-record target in the PREPARE-ACK instead of
+    #: stabilizing it locally, and the coordinator folds every prepare
+    #: target plus its own Clog decision target into one group-wide
+    #: echo-broadcast round before instructing COMMIT (apply-side
+    #: targets ride the COMMIT/ACK leg symmetrically).  False restores
+    #: the per-node behaviour: each participant stabilizes its own
+    #: prepare before ACKing and the coordinator stabilizes only its
+    #: decision entry.
+    twopc_piggyback: bool = True
     group_commit_max: int = 16  # transactions merged per group commit
     #: how long a group-commit leader waits for followers to join before
     #: draining the batch.  ``None`` = adaptive (bounded wait keyed off

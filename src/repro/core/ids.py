@@ -11,9 +11,13 @@ import itertools
 import struct
 from dataclasses import dataclass
 
-__all__ = ["GlobalTxnId", "TxnIdAllocator"]
+__all__ = ["GlobalTxnId", "TxnIdAllocator", "EPOCH_SHIFT"]
 
 _STRUCT = struct.Struct("<QQ")
+
+#: the coordinator's boot epoch occupies the local sequence's high bits;
+#: ``local_seq >> EPOCH_SHIFT`` recovers the epoch a txn was begun in.
+EPOCH_SHIFT = 48
 
 
 @dataclass(frozen=True, order=True)
@@ -49,4 +53,6 @@ class TxnIdAllocator:
         self._seq = itertools.count(1)
 
     def next(self) -> GlobalTxnId:
-        return GlobalTxnId(self.node_id, (self.epoch << 48) | next(self._seq))
+        return GlobalTxnId(
+            self.node_id, (self.epoch << EPOCH_SHIFT) | next(self._seq)
+        )

@@ -39,8 +39,14 @@ from .client import FrontEnd
 from .ids import GlobalTxnId
 from .pipeline import DurabilityPipeline
 from .stabilization import Stabilizer
-from .trusted_counter import CounterClient, CounterReplica
-from .twopc import ClogRecord, Coordinator, GlobalTxn, Participant
+from .trusted_counter import CounterClient, CounterReplica, decode_counter_vector
+from .twopc import (
+    RESOLUTION_RETRY_INTERVAL,
+    ClogRecord,
+    Coordinator,
+    GlobalTxn,
+    Participant,
+)
 
 __all__ = ["TreatyNode"]
 
@@ -186,6 +192,7 @@ class TreatyNode:
             self.partitioner,
             self.stabilizer,
             epoch=self.boot_count,
+            pipeline=self.pipeline,
         )
         self.participant = Participant(
             self.runtime, self.manager, self.cluster_rpc, self.stabilizer
@@ -285,7 +292,9 @@ class TreatyNode:
     def crash(self) -> None:
         """Fail-stop: lose everything volatile, keep the disk (§III)."""
         if self.sim.tracer is not None:
-            self.sim.tracer.event("node", "crash", node=self.name)
+            self.sim.tracer.event(
+                "node", "crash", node=self.name, node_id=self.numeric_id
+            )
         self.fabric.detach(self.cluster_address)
         self.fabric.detach(self.front_address)
         self.is_up = False
@@ -332,10 +341,17 @@ class TreatyNode:
         self.clog.reset_from_replay(clog_entries)
         self._wire_roles()
 
+        # Fence the pre-crash epoch: peers abort this coordinator's
+        # never-prepared transaction halves (nothing on any disk records
+        # them, so Clog replay below cannot resolve them — without the
+        # fence their locks would be held forever).
+        self.sim.process(self._fence_peers(), name="fence@%s" % self.name)
+
         # Rebuild coordinator decisions; find unresolved prepares and
         # commits whose completion was never recorded.
         seen_prepares: Dict[bytes, ClogRecord] = {}
         incomplete_commits: Dict[bytes, ClogRecord] = {}
+        decided_aborts: Dict[bytes, ClogRecord] = {}
         for counter, payload in clog_entries:
             record = ClogRecord.decode(payload)
             key = record.gid.encode()
@@ -344,10 +360,14 @@ class TreatyNode:
             elif record.kind == ClogRecord.COMPLETE:
                 incomplete_commits.pop(key, None)
             else:
-                self.coordinator.decisions[key] = (record.kind, counter)
+                self.coordinator.decisions[key] = (
+                    record.kind, counter, tuple(record.targets)
+                )
                 seen_prepares.pop(key, None)
                 if record.kind == ClogRecord.COMMIT:
                     incomplete_commits[key] = record
+                else:
+                    decided_aborts[key] = record
 
         # Re-adopt prepared participant-local transactions (§VI: "each
         # node will re-initialize all prepared Txs that are not yet
@@ -372,6 +392,10 @@ class TreatyNode:
         for key, record in incomplete_commits.items():
             self.sim.process(
                 self._redrive_commit(record), name="re-commit@%s" % self.name
+            )
+        for key, record in decided_aborts.items():
+            self.sim.process(
+                self._redrive_abort(record), name="re-abort@%s" % self.name
             )
         self.is_up = True
         if self.sim.tracer is not None:
@@ -402,12 +426,53 @@ class TreatyNode:
         )
         return TxMessage(msg_type, gid.node_id, gid.local_seq, op_id)
 
+    def _fence_peers(self) -> Gen:
+        """Tell every peer this node's pre-crash epoch is dead.
+
+        Best effort with bounded retries: a peer that is itself down
+        lost the orphaned volatile state the fence targets anyway, so
+        there is nothing to fence once it recovers.
+        """
+        if self.sim.tracer is not None:
+            self.sim.tracer.event(
+                "twopc", "fence", node=self.name, epoch=self.boot_count
+            )
+        pending = {
+            node for node in self.addresses if node != self.numeric_id
+        }
+        for _attempt in range(10):
+            if not pending:
+                return
+            events = {
+                node: self.cluster_rpc.enqueue(
+                    self.addresses[node],
+                    TxMessage(
+                        MsgType.TXN_FENCE,
+                        self.numeric_id,
+                        self.boot_count,
+                        _RESOLUTION_OP_BASE
+                        | (self.boot_count << 40)
+                        | next(self._resolution_ops),
+                    ),
+                )
+                for node in sorted(pending)
+            }
+            yield self.sim.any_of(
+                [
+                    self.sim.all_of(list(events.values())),
+                    self.sim.timeout(RESOLUTION_RETRY_INTERVAL),
+                ]
+            )
+            for node, event in events.items():
+                if event.triggered and event.ok:
+                    pending.discard(node)
+
     def _resolve_prepared(self, txn_id: bytes, txn) -> Gen:
         """Ask the coordinator how a recovered prepared txn was decided."""
         gid = GlobalTxnId.decode(txn_id)
         if gid.node_id == self.numeric_id:
-            decision, _ = self.coordinator.decisions.get(
-                txn_id, (ClogRecord.ABORT, 0)
+            decision, _, _ = self.coordinator.decisions.get(
+                txn_id, (ClogRecord.ABORT, 0, ())
             )
             commit = decision == ClogRecord.COMMIT
         else:
@@ -434,6 +499,18 @@ class TreatyNode:
         self.stabilizer.background(self.clog.log_name, counter)
         yield from self._broadcast_resolution(MsgType.TXN_ABORT, record)
 
+    def _redrive_abort(self, record: ClogRecord) -> Gen:
+        """Re-instruct participants of a decided-abort transaction.
+
+        Aborts log no COMPLETE record (presumed abort), so recovery
+        re-broadcasts every one: the pre-crash coordinator may have
+        logged the ABORT decision but died before any participant heard
+        it, and their prepared halves (with their locks) would wait
+        forever.  Participants that already aborted — or never heard of
+        the transaction — acknowledge and ignore the duplicate.
+        """
+        yield from self._broadcast_resolution(MsgType.TXN_ABORT, record)
+
     def _redrive_commit(self, record: ClogRecord) -> Gen:
         """Re-instruct participants of a decided-commit transaction.
 
@@ -442,13 +519,36 @@ class TreatyNode:
         The decision entry may sit in the replayed Clog's unstable
         suffix (the pre-crash coordinator logged it but died before
         stabilizing), so it is stabilized before any participant is
-        told to commit.
+        told to commit — together with any piggybacked prepare targets
+        the pre-crash coordinator collected but never saw stabilized
+        (a participant may hold its matching prepare record in *its*
+        unstable WAL suffix, waiting on exactly this round).
         """
         if self.profile.stabilization:
-            yield from self.stabilizer(
-                self.clog.log_name, self.clog.last_counter
+            if record.targets and self.pipeline is not None:
+                yield from self.pipeline.stabilize_group(
+                    list(record.targets)
+                    + [(self.clog.log_name, self.clog.last_counter)],
+                    txn=record.gid.encode().hex(), phase="redrive",
+                )
+            else:
+                yield from self.stabilizer(
+                    self.clog.log_name, self.clog.last_counter
+                )
+        replies = yield from self._broadcast_resolution(
+            MsgType.TXN_COMMIT, record
+        )
+        # Apply-side targets piggybacked on the re-driven COMMIT ACKs
+        # still deserve stabilization (off the critical path).
+        apply_targets = []
+        for reply in replies:
+            if getattr(reply, "body", b""):
+                apply_targets.extend(decode_counter_vector(reply.body))
+        if apply_targets and self.pipeline is not None:
+            yield from self.pipeline.stabilize_group(
+                apply_targets,
+                txn=record.gid.encode().hex(), phase="redrive-apply",
             )
-        yield from self._broadcast_resolution(MsgType.TXN_COMMIT, record)
 
     def _broadcast_resolution(self, msg_type: int, record: ClogRecord) -> Gen:
         events = []
@@ -463,5 +563,11 @@ class TreatyNode:
                     address, self._resolution_message(msg_type, record.gid)
                 )
             )
+        replies = []
         if events:
             yield self.sim.all_of(events)
+            replies = [
+                event.value for event in events
+                if event.triggered and event.ok
+            ]
+        return replies

@@ -92,6 +92,48 @@ class DurabilityPipeline:
         """Wait until every target is rollback-protected (one request)."""
         yield from self.stabilizer.many(targets)
 
+    def stabilize_group(
+        self,
+        targets: Sequence[Tuple[str, int]],
+        txn: Optional[str] = None,
+        phase: str = "decision",
+    ) -> Gen:
+        """Stabilize a *group-wide* target set in one request.
+
+        The cross-node half of the pipeline: a coordinator calls this
+        with the prepare targets its participants piggybacked on their
+        PREPARE-ACKs plus its own Clog decision target, so one vectored
+        echo-broadcast round covers the whole distributed transaction.
+        Log names are globally unique, so any node's counter client can
+        stabilize any node's log; the targets merge with whatever local
+        group-commit batch is already pending a round.
+
+        ``phase`` labels round provenance in traces ("decision" for the
+        pre-COMMIT round, "complete" for the background apply/COMPLETE
+        round).
+        """
+        if not self.enabled:
+            return
+        targets = [(log, counter) for log, counter in targets if counter > 0]
+        if not targets:
+            return
+        self.runtime.tracer.event(
+            "stabilize", "group_begin", node=self.runtime.name or None,
+            txn=txn, phase=phase, targets=len(targets),
+            logs=sorted(log for log, _ in targets),
+        )
+        span = self.runtime.tracer.span(
+            "stabilize", "group_round", node=self.runtime.name or None,
+            txn=txn, phase=phase, targets=len(targets),
+        )
+        yield from self.stabilizer.many(targets)
+        span.close()
+        metrics = self.runtime.metrics
+        metrics.counter("stabilize.group_rounds").inc()
+        metrics.histogram(
+            "stabilize.group_size", edges=(1, 2, 4, 8, 16, 32)
+        ).observe(len(targets))
+
     def background(self, log_name: str, counter: int) -> None:
         """Fire-and-forget stabilization (commit records, GC edits)."""
         self.stabilizer.background(log_name, counter)

@@ -36,7 +36,8 @@ from ..tee.runtime import NodeRuntime
 from ..txn.manager import TransactionManager
 from ..txn.pessimistic import PessimisticTxn
 from ..txn.types import TxnStatus
-from .ids import GlobalTxnId, TxnIdAllocator
+from .ids import EPOCH_SHIFT, GlobalTxnId, TxnIdAllocator
+from .trusted_counter import decode_counter_vector, encode_counter_vector
 
 __all__ = ["ClogRecord", "Participant", "Coordinator", "GlobalTxn"]
 
@@ -131,16 +132,31 @@ class ClogRecord:
     #: re-drive this transaction.
     COMPLETE = 4
 
-    def __init__(self, kind: int, gid: GlobalTxnId, participants: List[int]):
+    def __init__(
+        self,
+        kind: int,
+        gid: GlobalTxnId,
+        participants: List[int],
+        targets: Optional[List[Tuple[str, int]]] = None,
+    ):
         self.kind = kind
         self.gid = gid
         self.participants = participants
+        #: piggybacked stabilization targets: for COMMIT records, the
+        #: participants' prepare-record (log, counter) pairs folded into
+        #: the coordinator's group-wide round.  Persisted so recovery
+        #: can re-stabilize targets the crashed coordinator collected
+        #: but never saw acknowledged.
+        self.targets: List[Tuple[str, int]] = list(targets or [])
 
     def encode(self) -> bytes:
         writer = Writer().u32(self.kind).blob(self.gid.encode())
         writer.u32(len(self.participants))
         for node in self.participants:
             writer.u64(node)
+        writer.u32(len(self.targets))
+        for log_name, counter in self.targets:
+            writer.blob(log_name.encode()).u64(counter)
         return writer.getvalue()
 
     @classmethod
@@ -150,7 +166,12 @@ class ClogRecord:
         gid = GlobalTxnId.decode(reader.blob())
         count = reader.u32()
         participants = [reader.u64() for _ in range(count)]
-        return cls(kind, gid, participants)
+        target_count = reader.u32()
+        targets = [
+            (reader.blob().decode(), reader.u64())
+            for _ in range(target_count)
+        ]
+        return cls(kind, gid, participants, targets)
 
 
 class Participant:
@@ -179,6 +200,7 @@ class Participant:
         rpc.register(MsgType.TXN_PREPARE, self._on_prepare)
         rpc.register(MsgType.TXN_COMMIT, self._on_commit)
         rpc.register(MsgType.TXN_ABORT, self._on_abort)
+        rpc.register(MsgType.TXN_FENCE, self._on_fence)
 
     # -- helpers ------------------------------------------------------------
     def _txn_for(self, message: TxMessage) -> PessimisticTxn:
@@ -240,8 +262,24 @@ class Participant:
             return self._fail(message, str(aborted).encode())
         return self._ack(message)
 
+    @property
+    def _piggyback(self) -> bool:
+        """Whether counter targets ride the 2PC ACKs instead of being
+        stabilized locally (only meaningful under stabilization)."""
+        return (
+            self.runtime.profile.stabilization
+            and self.runtime.config.twopc_piggyback
+        )
+
     def _on_prepare(self, message: TxMessage, src: str) -> Gen:
-        """Prepare the local transaction; ACK only once stabilized (§V-A)."""
+        """Prepare the local transaction; ACK only once stabilized (§V-A).
+
+        With piggybacking the stabilization duty moves to the
+        coordinator: the ACK carries the prepare record's (log, counter)
+        target, and the coordinator folds it into one group-wide round
+        before any COMMIT instruction — the prepare is still stable
+        before anyone acts on the decision, just via a shared round.
+        """
         gid = GlobalTxnId(message.node_id, message.txn_id)
         txn = self.active.get(gid.encode())
         if txn is None or txn.status != TxnStatus.ACTIVE:
@@ -252,6 +290,15 @@ class Participant:
             self._drop(message)
             return self._fail(message, str(aborted).encode())
         self.prepares_served += 1
+        if self._piggyback:
+            self.tracer.event(
+                "twopc", "prepare_target", node=self.node,
+                txn=gid.encode().hex(), log=log_name, counter=counter,
+                coord=message.node_id,
+            )
+            return self._ack(
+                message, encode_counter_vector([(log_name, counter)])
+            )
         if self.runtime.profile.stabilization:
             # "Participants delay replying back to the coordinator until
             # the prepare entry in the log is stabilized."
@@ -259,6 +306,7 @@ class Participant:
         self.tracer.event(
             "twopc", "prepare_ack", node=self.node,
             txn=gid.encode().hex(), log=log_name, counter=counter,
+            coord=message.node_id,
         )
         return self._ack(message)
 
@@ -269,12 +317,22 @@ class Participant:
             # Already committed (e.g. duplicate instruction after the
             # coordinator recovered): "this message is ignored" (§VI).
             return self._ack(message)
-        yield from txn.commit_prepared_async()
+        body = b""
+        if self._piggyback:
+            # Symmetric apply-side piggyback: the commit record's target
+            # rides the ACK and joins the coordinator's background
+            # COMPLETE round instead of a local background fiber.
+            counter, log_name = yield from txn.commit_prepared_async(
+                defer_stabilization=True
+            )
+            body = encode_counter_vector([(log_name, counter)])
+        else:
+            yield from txn.commit_prepared_async()
         self.commits_served += 1
         self.tracer.event(
             "twopc", "commit_apply", node=self.node, txn=gid.encode().hex()
         )
-        return self._ack(message)
+        return self._ack(message, body)
 
     def _on_abort(self, message: TxMessage, src: str) -> Gen:
         gid = GlobalTxnId(message.node_id, message.txn_id)
@@ -287,6 +345,34 @@ class Participant:
             self.tracer.event(
                 "twopc", "abort_apply", node=self.node,
                 txn=gid.encode().hex(),
+            )
+        return self._ack(message)
+
+    def _on_fence(self, message: TxMessage, src: str) -> Gen:
+        """A recovered coordinator fences its pre-crash boot epoch.
+
+        Local halves of that coordinator's transactions that never
+        reached PREPARE died with its volatile state: no log anywhere
+        records them, so nobody will ever resolve them and their locks
+        would be held forever.  The fence (``txn_id`` carries the new
+        boot epoch, which also occupies the high bits of every txn id)
+        aborts exactly those orphans.  PREPARED halves survive — they
+        are resolved through the coordinator's Clog replay.
+        """
+        yield from self.runtime.op_overhead()
+        epoch = message.txn_id
+        orphans = [
+            key for key, txn in self.active.items()
+            if txn.status == TxnStatus.ACTIVE
+            and GlobalTxnId.decode(key).node_id == message.node_id
+            and GlobalTxnId.decode(key).local_seq >> EPOCH_SHIFT < epoch
+        ]
+        for key in orphans:
+            txn = self.active.pop(key)
+            yield from txn.rollback()
+            self.tracer.event(
+                "twopc", "fence_abort", node=self.node, txn=key.hex(),
+                coord=message.node_id, epoch=epoch,
             )
         return self._ack(message)
 
@@ -305,6 +391,7 @@ class Coordinator:
         partitioner: Partitioner,
         stabilize: Stabilize,
         epoch: int = 0,
+        pipeline=None,
     ):
         self.runtime = runtime
         self.manager = manager
@@ -314,11 +401,14 @@ class Coordinator:
         self.addresses = addresses  # numeric node id -> cluster address
         self.partitioner = partitioner
         self.stabilize = stabilize
+        #: the node's DurabilityPipeline (group-wide stabilization rounds).
+        self.pipeline = pipeline
         self.tracer = runtime.tracer
         self.node = runtime.name or None
         self.allocator = TxnIdAllocator(node_numeric_id, epoch)
-        #: decisions recorded in the Clog: gid -> (kind, clog counter).
-        self.decisions: Dict[bytes, Tuple[int, int]] = {}
+        #: decisions recorded in the Clog:
+        #: gid -> (kind, clog counter, piggybacked targets).
+        self.decisions: Dict[bytes, Tuple[int, int, Tuple[Tuple[str, int], ...]]] = {}
         self.distributed_commits = 0
         self.local_commits = 0
         self.aborts = 0
@@ -329,10 +419,21 @@ class Coordinator:
         return GlobalTxn(self, self.allocator.next())
 
     # -- Clog ---------------------------------------------------------------------
+    @property
+    def piggyback(self) -> bool:
+        """Group-wide stabilization rounds via 2PC-message piggybacking."""
+        return (
+            self.runtime.profile.stabilization
+            and self.runtime.config.twopc_piggyback
+            and self.pipeline is not None
+        )
+
     def log_clog(self, record: ClogRecord) -> Gen:
         counter = yield from self.clog.append(record.encode())
         if record.kind in (ClogRecord.COMMIT, ClogRecord.ABORT):
-            self.decisions[record.gid.encode()] = (record.kind, counter)
+            self.decisions[record.gid.encode()] = (
+                record.kind, counter, tuple(record.targets)
+            )
             self.tracer.event(
                 "twopc", "decision", node=self.node,
                 txn=record.gid.encode().hex(),
@@ -350,8 +451,8 @@ class Coordinator:
         """
         yield from self.runtime.op_overhead()
         gid_bytes = GlobalTxnId(message.node_id, message.txn_id).encode()
-        decision, decision_counter = self.decisions.get(
-            gid_bytes, (ClogRecord.ABORT, 0)
+        decision, decision_counter, targets = self.decisions.get(
+            gid_bytes, (ClogRecord.ABORT, 0, ())
         )
         if decision == ClogRecord.COMMIT and self.runtime.profile.stabilization:
             # The decision entry may sit in the unstable Clog suffix
@@ -359,8 +460,20 @@ class Coordinator:
             # a participant must not commit on an unprotected decision.
             # Only the decision's own entry matters — waiting on later
             # records (e.g. a COMPLETE mid-stabilization) would hold the
-            # participant's locks past unrelated work.
-            yield from self.stabilize(self.clog.log_name, decision_counter)
+            # participant's locks past unrelated work.  Piggybacked
+            # prepare targets the crashed coordinator collected but may
+            # never have stabilized ride the same round: the asking
+            # participant's recovered prepare record must be
+            # rollback-protected before it commits on this answer.
+            if self.pipeline is not None and targets:
+                yield from self.pipeline.stabilize_group(
+                    list(targets) + [(self.clog.log_name, decision_counter)],
+                    txn=gid_bytes.hex(), phase="resolve",
+                )
+            else:
+                yield from self.stabilize(
+                    self.clog.log_name, decision_counter
+                )
         verdict = b"commit" if decision == ClogRecord.COMMIT else b"abort"
         return TxMessage(
             MsgType.TXN_RESOLVE_REPLY,
@@ -574,32 +687,59 @@ class GlobalTxn:
                 self.runtime.sim.timeout(PREPARE_VOTE_TIMEOUT),
             ]
         )
-        vote_commit = all(
-            event.triggered
-            and event.ok
-            and (
-                event.value is True
-                or getattr(event.value, "msg_type", None) == MsgType.ACK
-            )
-            for event in events
-        )
+        # Harvest votes; under piggybacking a YES vote carries the
+        # voter's prepare-record (log, counter) target — the local
+        # prepare returns the tuple directly, remote ACK bodies carry
+        # an encoded counter vector.
+        vote_commit = True
+        prepare_targets: List[Tuple[str, int]] = []
+        for event in events:
+            if not (event.triggered and event.ok):
+                vote_commit = False
+                continue
+            value = event.value
+            if value is True:
+                continue
+            if isinstance(value, tuple):
+                prepare_targets.append(value)
+                continue
+            if getattr(value, "msg_type", None) == MsgType.ACK:
+                if value.body:
+                    prepare_targets.extend(decode_counter_vector(value.body))
+                continue
+            vote_commit = False
         span.close(vote="commit" if vote_commit else "abort")
         metrics.histogram("twopc.prepare_s").observe(
             self.runtime.now - phase_start
         )
-        # 6-7: log + stabilize the decision before acting on it.
+        # 6-7: log + stabilize the decision before acting on it.  With
+        # piggybacking the participants' prepare targets fold into the
+        # same group-wide round: one echo broadcast rollback-protects
+        # every prepare record *and* the Clog decision entry.
         phase_start = self.runtime.now
         span = tracer.span(
             "twopc", "decision_log", node=coordinator.node, txn=txn_hex
         )
         decision_kind = ClogRecord.COMMIT if vote_commit else ClogRecord.ABORT
         decision_counter = yield from coordinator.log_clog(
-            ClogRecord(decision_kind, self.gid, record_participants)
+            ClogRecord(
+                decision_kind, self.gid, record_participants,
+                targets=prepare_targets if vote_commit else None,
+            )
         )
         if self.runtime.profile.stabilization:
-            yield from coordinator.stabilize(
-                coordinator.clog.log_name, decision_counter
-            )
+            if coordinator.piggyback:
+                # Aborted prepares need no rollback protection (presumed
+                # abort): only a commit decision carries the group.
+                yield from coordinator.pipeline.stabilize_group(
+                    (prepare_targets if vote_commit else [])
+                    + [(coordinator.clog.log_name, decision_counter)],
+                    txn=txn_hex, phase="decision",
+                )
+            else:
+                yield from coordinator.stabilize(
+                    coordinator.clog.log_name, decision_counter
+                )
         span.close()
         metrics.histogram("twopc.decision_s").observe(
             self.runtime.now - phase_start
@@ -626,9 +766,24 @@ class GlobalTxn:
         span = tracer.span(
             "twopc", "commit", node=coordinator.node, txn=txn_hex
         )
-        yield from self._broadcast_resolution(MsgType.TXN_COMMIT, participants)
+        replies = yield from self._broadcast_resolution(
+            MsgType.TXN_COMMIT, participants
+        )
+        # Symmetric apply-side piggyback: COMMIT/ACK bodies carry the
+        # participants' commit-record targets; they join the background
+        # COMPLETE round instead of N per-node background fibers.
+        apply_targets: List[Tuple[str, int]] = []
+        for reply in replies.values():
+            if getattr(reply, "body", b""):
+                apply_targets.extend(decode_counter_vector(reply.body))
         if self._local_txn is not None:
-            yield from self._local_txn.commit_prepared_async()
+            if coordinator.piggyback:
+                counter, log_name = yield from self._local_txn.commit_prepared_async(
+                    defer_stabilization=True
+                )
+                apply_targets.append((log_name, counter))
+            else:
+                yield from self._local_txn.commit_prepared_async()
             tracer.event(
                 "twopc", "commit_apply", node=coordinator.node, txn=txn_hex
             )
@@ -640,15 +795,24 @@ class GlobalTxn:
         coordinator.distributed_commits += 1
 
         # Off the critical path: record that every participant committed,
-        # so recovery does not re-drive this transaction.
+        # so recovery does not re-drive this transaction.  Under
+        # piggybacking the COMPLETE entry and every apply-side target
+        # share one more group-wide round.
         def log_complete() -> Gen:
             counter = yield from coordinator.log_clog(
                 ClogRecord(ClogRecord.COMPLETE, self.gid, record_participants)
             )
             if self.runtime.profile.stabilization:
-                yield from coordinator.stabilize(
-                    coordinator.clog.log_name, counter
-                )
+                if coordinator.piggyback:
+                    yield from coordinator.pipeline.stabilize_group(
+                        apply_targets
+                        + [(coordinator.clog.log_name, counter)],
+                        txn=txn_hex, phase="complete",
+                    )
+                else:
+                    yield from coordinator.stabilize(
+                        coordinator.clog.log_name, counter
+                    )
 
         self.runtime.sim.process(log_complete(), name="clog-complete")
 
@@ -657,11 +821,20 @@ class GlobalTxn:
             counter, log_name = yield from self._local().prepare()
         except TransactionAborted:
             return False
+        if self.coordinator.piggyback:
+            # Return the target: it joins the group-wide decision round.
+            self.coordinator.tracer.event(
+                "twopc", "prepare_target", node=self.coordinator.node,
+                txn=self.gid.encode().hex(), log=log_name, counter=counter,
+                coord=self.coordinator.node_numeric_id,
+            )
+            return (log_name, counter)
         if self.runtime.profile.stabilization:
             yield from self.coordinator.stabilize(log_name, counter)
         self.coordinator.tracer.event(
             "twopc", "prepare_ack", node=self.coordinator.node,
             txn=self.gid.encode().hex(), log=log_name, counter=counter,
+            coord=self.coordinator.node_numeric_id,
         )
         return True
 
@@ -672,8 +845,12 @@ class GlobalTxn:
         always safe: a participant that already acted replies ACK and
         ignores the duplicate instruction (each retry carries a fresh
         operation id, so the at-most-once filter does not eat it).
+
+        Returns the collected replies (node -> TxMessage): COMMIT ACK
+        bodies carry the participants' piggybacked apply-side targets.
         """
         pending = set(participants)
+        replies: Dict[int, TxMessage] = {}
         while pending:
             events = {
                 node: self.coordinator.rpc.enqueue(
@@ -690,6 +867,8 @@ class GlobalTxn:
             for node, event in events.items():
                 if event.triggered and event.ok:
                     pending.discard(node)
+                    replies[node] = event.value
+        return replies
 
     def rollback(self, failed_node: Optional[int] = None) -> Gen:
         """TXNROLLBACK: abort everywhere (presumed abort, nothing logged)."""

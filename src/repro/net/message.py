@@ -57,6 +57,9 @@ class MsgType:
     TXN_RESOLVE = 15
     TXN_RESOLVE_REPLY = 16
     TXN_SCAN = 17
+    #: a recovered coordinator announces its new boot epoch; peers abort
+    #: its pre-epoch transactions that never reached PREPARE.
+    TXN_FENCE = 18
 
     NAMES = {
         1: "TXN_READ",

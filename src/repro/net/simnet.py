@@ -70,6 +70,14 @@ class Nic:
             yield self.fabric.sim.timeout(frame.wire_bytes / self.bandwidth)
         finally:
             self._egress.release()
+        if self.fabric._nics.get(self.address) is not self:
+            # Fail-stop: this NIC was detached (node crash).  Fibers of
+            # the crashed node keep running until they block forever,
+            # but nothing they transmit may reach the network — an
+            # identity check, so a recovered node's *fresh* NIC is
+            # unaffected while stale pre-crash NICs stay dead.
+            self.fabric.dropped_frames += 1
+            return
         self.tx_bytes += frame.wire_bytes
         self.fabric.route(frame, self.propagation)
 

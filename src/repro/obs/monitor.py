@@ -20,8 +20,17 @@ I4 **recovery resolution** — every node that recovers with prepared
 I5 **bounded liveness** — absent crashes, every prepare-ACKed
    transaction reaches a logged decision within ``liveness_timeout``
    simulated seconds, so a stuck 2PC fiber trips the monitor instead of
-   a test timeout.  Any node crash clears the pending set (a crashed
-   coordinator legitimately delays decisions until recovery).
+   a test timeout.  Obligations are tracked *per coordinator*: a crash
+   clears only the transactions whose coordinator (or, lacking that
+   attribution, any node) went down — a bystander's crash must not
+   blind the monitor to a genuinely stuck transaction.
+
+Under cross-node piggybacking (``twopc_piggyback``) participants emit
+``prepare_target`` instead of ``prepare_ack``: the prepare's counter is
+deliberately *not* yet stable at ACK time (it rides the coordinator's
+group-wide round), so I2 is deferred — the target must be stable by the
+time that participant applies the commit (checked at ``commit_apply``
+alongside I1).
 
 The monitor learns stability from the counter service's own ``advance``
 events, *not* from the components under check — a broken stabilization
@@ -56,17 +65,28 @@ class InvariantMonitor:
         self.liveness_timeout = liveness_timeout
         self.violations: List[str] = []
         self.events_seen = 0
-        #: highest stable counter value observed per log name.
+        #: highest stable counter value observed per log name (the
+        #: monitor's global knowledge, max over all observers).
         self.stable: Dict[str, int] = {}
+        #: highest advance per (observer node, log): with cross-node
+        #: piggybacking any node stabilizes any log, and a lagging
+        #: observer legitimately advances its *local* view to a value
+        #: below the global maximum — only a regression within one
+        #: observer's own view is an I3 violation.
+        self.advance_views: Dict[Any, int] = {}
         #: highest confirmed value per (replica, log).
         self.confirmed: Dict[Any, int] = {}
         #: txn -> {"kind", "log", "counter"} from coordinator Clog writes.
         self.decisions: Dict[str, Dict[str, Any]] = {}
         #: node -> set of prepared txns recovered but not yet resolved.
         self.unresolved: Dict[str, Set[str]] = {}
-        #: txn -> sim time of its first prepare ACK, awaiting a decision
-        #: (insertion-ordered, so the front is always the oldest).
-        self.awaiting_decision: Dict[str, float] = {}
+        #: txn -> (time of its first prepare ACK, coordinator numeric id
+        #: or None) awaiting a decision (insertion-ordered, so the front
+        #: is always the oldest).
+        self.awaiting_decision: Dict[str, Any] = {}
+        #: (txn, node) -> (log, counter) of a piggybacked prepare whose
+        #: I2 check is deferred to that node's commit apply.
+        self.deferred_prepares: Dict[Any, Any] = {}
 
     # -- wiring ------------------------------------------------------------
     def attach(self, tracer) -> "InvariantMonitor":
@@ -98,14 +118,17 @@ class InvariantMonitor:
     def _on_stable_advance(self, rec: Dict[str, Any]) -> None:
         log = rec["args"]["log"]
         value = rec["args"]["value"]
-        previous = self.stable.get(log, 0)
+        view = (rec["node"], log)
+        previous = self.advance_views.get(view, 0)
         if value < previous:
             self._violate(
-                "I3: stable counter for %s regressed from %d to %d"
-                % (log, previous, value)
+                "I3: stable counter for %s regressed from %d to %d "
+                "(observer %s)" % (log, previous, value, rec["node"])
             )
             return
-        self.stable[log] = value
+        self.advance_views[view] = value
+        if value > self.stable.get(log, 0):
+            self.stable[log] = value
 
     def _on_counter_confirm(self, rec: Dict[str, Any]) -> None:
         replica = rec["args"]["replica"]
@@ -120,10 +143,15 @@ class InvariantMonitor:
             return
         self.confirmed[(replica, log)] = value
 
-    def _on_prepare_ack(self, rec: Dict[str, Any]) -> None:
+    def _await_decision(self, rec: Dict[str, Any]) -> None:
         txn = rec.get("txn")
         if txn is not None and txn not in self.decisions:
-            self.awaiting_decision.setdefault(txn, rec["t"])
+            self.awaiting_decision.setdefault(
+                txn, (rec["t"], rec["args"].get("coord"))
+            )
+
+    def _on_prepare_ack(self, rec: Dict[str, Any]) -> None:
+        self._await_decision(rec)
         if not self.require_stabilization:
             return
         log = rec["args"]["log"]
@@ -136,6 +164,13 @@ class InvariantMonitor:
                    self.stable.get(log, 0))
             )
 
+    def _on_prepare_target(self, rec: Dict[str, Any]) -> None:
+        """A piggybacked prepare: I2 moves to this node's commit apply."""
+        self._await_decision(rec)
+        self.deferred_prepares[(rec["txn"], rec["node"])] = (
+            rec["args"]["log"], rec["args"]["counter"]
+        )
+
     def _on_decision(self, rec: Dict[str, Any]) -> None:
         self.decisions[rec["txn"]] = {
             "kind": rec["args"]["kind"],
@@ -147,6 +182,7 @@ class InvariantMonitor:
     def _on_commit_apply(self, rec: Dict[str, Any]) -> None:
         txn = rec["txn"]
         self._resolve(rec["node"], txn)
+        deferred = self.deferred_prepares.pop((txn, rec["node"]), None)
         decision = self.decisions.get(txn)
         if decision is None or decision["kind"] != "commit":
             self._violate(
@@ -162,9 +198,23 @@ class InvariantMonitor:
                     "%d of %s was stable (stable=%d)"
                     % (rec["node"], txn, counter, log, self.stable.get(log, 0))
                 )
+            if deferred is not None:
+                # Deferred I2: the piggybacked prepare target must have
+                # become stable (via the coordinator's group-wide round)
+                # before this participant applies the commit.
+                log, counter = deferred
+                if self.stable.get(log, 0) < counter:
+                    self._violate(
+                        "I2: %s applied commit of txn %s before its "
+                        "piggybacked prepare entry %d of %s was stable "
+                        "(stable=%d)"
+                        % (rec["node"], txn, counter, log,
+                           self.stable.get(log, 0))
+                    )
 
     def _on_abort_apply(self, rec: Dict[str, Any]) -> None:
         self._resolve(rec["node"], rec["txn"])
+        self.deferred_prepares.pop((rec["txn"], rec["node"]), None)
         # Presumed abort: a participant may abort without the
         # coordinator ever logging a decision entry.
         self.awaiting_decision.pop(rec["txn"], None)
@@ -179,10 +229,29 @@ class InvariantMonitor:
         self.awaiting_decision.pop(rec["txn"], None)
 
     def _on_crash(self, rec: Dict[str, Any]) -> None:
-        # I5 promises bounded liveness *absent crashes*: a crashed
-        # coordinator or participant legitimately stalls decisions until
-        # recovery, so the pending set starts over.
-        self.awaiting_decision.clear()
+        # I5 promises bounded liveness *absent crashes* — but only the
+        # crashed coordinator's obligations are excused: a bystander's
+        # crash must not mask a transaction stuck on a healthy
+        # coordinator.  Events without attribution (no ``node_id`` on
+        # the crash, or no ``coord`` on the prepare) fall back to the
+        # conservative legacy behaviour of clearing everything they
+        # cannot attribute.
+        # The crashed node's enclave (and its counter-client view) is
+        # gone: its next advance starts from a fresh gate and may be
+        # below its pre-crash view without any rollback having happened.
+        node = rec.get("node")
+        if node is not None:
+            for view in [v for v in self.advance_views if v[0] == node]:
+                del self.advance_views[view]
+        crashed = rec["args"].get("node_id")
+        if crashed is None:
+            self.awaiting_decision.clear()
+            return
+        for txn in [
+            txn for txn, (_since, coord) in self.awaiting_decision.items()
+            if coord is None or coord == crashed
+        ]:
+            del self.awaiting_decision[txn]
 
     # -- I5: bounded liveness ----------------------------------------------
     def _check_liveness(self, now: float) -> None:
@@ -192,7 +261,7 @@ class InvariantMonitor:
         the first entry inside the horizon — the common case is O(1).
         """
         overdue = []
-        for txn, since in self.awaiting_decision.items():
+        for txn, (since, _coord) in self.awaiting_decision.items():
             if now - since <= self.liveness_timeout:
                 break
             overdue.append((txn, since))
@@ -244,6 +313,7 @@ _HANDLERS = {
     ("stabilize", "advance"): InvariantMonitor._on_stable_advance,
     ("counter", "confirm"): InvariantMonitor._on_counter_confirm,
     ("twopc", "prepare_ack"): InvariantMonitor._on_prepare_ack,
+    ("twopc", "prepare_target"): InvariantMonitor._on_prepare_target,
     ("twopc", "decision"): InvariantMonitor._on_decision,
     ("twopc", "commit_apply"): InvariantMonitor._on_commit_apply,
     ("twopc", "abort_apply"): InvariantMonitor._on_abort_apply,

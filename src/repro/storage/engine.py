@@ -487,19 +487,40 @@ class LSMEngine:
             )
             wal_stable = yield from limit_for(wal_path)
             check_fresh(wal, wal_stable)
-            entries = yield from wal.replay(up_to_counter=wal_stable)
-            for _counter, payload in entries:
+            # The full authenticated chain is kept on disk; only entries
+            # within the stable prefix are *applied*.  An unstable
+            # commit record stays invisible (its client was never
+            # acknowledged) but must not discard the prepare it resolves
+            # — with cross-node piggybacking a prepare's stabilization
+            # may be in flight in the coordinator's group-wide round
+            # while this node crashes, and its counter can become stable
+            # globally at any moment.  Keeping the chain means a later
+            # stable value can never make this disk look rolled back,
+            # and prepare records are re-adopted regardless of counter:
+            # their fate comes from the coordinator (TXN_RESOLVE), which
+            # stabilizes the decision and any piggybacked targets before
+            # answering commit.
+            entries = yield from wal.replay()
+            for counter, payload in entries:
                 yield from self.runtime.compute(
                     self.runtime.costs.recovery_record_cpu
                     + len(payload) * self.runtime.costs.copy_per_byte
                 )
                 record = WalRecord.decode(payload)
+                applied = wal_stable is None or counter <= wal_stable
                 if record.kind == WalRecord.KIND_PREPARE:
                     self.prepared_txns[record.txn_id] = record.writes
-                else:
+                elif applied:
                     self.prepared_txns.pop(record.txn_id, None)
                     for key, value, seq in record.writes:
                         yield from self.memtable.put(key, value, seq)
+                        max_seq = max(max_seq, seq)
+                else:
+                    # Unstable commit suffix: keep the record (chain
+                    # integrity) but leave the prepare adoptable and the
+                    # memtable untouched; still reserve its sequence
+                    # numbers so re-commits never reuse them.
+                    for _key, _value, seq in record.writes:
                         max_seq = max(max_seq, seq)
             if wal_path == state.live_wals[-1]:
                 wal.reset_from_replay(entries)

@@ -47,6 +47,14 @@ Validator = Callable[[], Generator[Event, Any, None]]
 _GAP_ALPHA = 0.2
 #: the adaptive window waits this multiple of the mean arrival gap.
 _GAP_MULTIPLE = 4.0
+#: smoothing factor for the observed batch-stabilization-wait EWMA.
+_STAB_ALPHA = 0.2
+#: the adaptive window is also floored at this fraction of the observed
+#: stabilization wait: when rollback protection costs ~2 ms anyway,
+#: holding the batch open a little longer is nearly free and each extra
+#: member amortizes one more counter round (ROADMAP: feed observed
+#: ``stabilize.wait_s`` into the EWMA, not just arrival gaps).
+_STAB_FRACTION = 0.1
 
 #: bucket edges for the ``group_commit.batch_size`` histogram.
 _BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
@@ -96,6 +104,7 @@ class GroupCommitter:
         self._leader_active = False
         self._last_submit: Optional[float] = None
         self._gap_ewma: Optional[float] = None
+        self._stab_ewma: Optional[float] = None
         self.groups_formed = 0
         self.committed = 0
         self._batch_hist = runtime.metrics.histogram(
@@ -122,7 +131,10 @@ class GroupCommitter:
         if self._gap_ewma is None:
             # No arrival history yet: drain immediately (idle node).
             return 0.0
-        return min(self.window_cap, self._gap_ewma * _GAP_MULTIPLE)
+        delay = self._gap_ewma * _GAP_MULTIPLE
+        if self._stab_ewma is not None:
+            delay = max(delay, self._stab_ewma * _STAB_FRACTION)
+        return min(self.window_cap, delay)
 
     # -- submission ---------------------------------------------------------
     def submit(
@@ -228,12 +240,18 @@ class GroupCommitter:
         ~2 ms counter round)."""
 
         def run() -> Gen:
+            start = self.runtime.now
             try:
                 yield from self.pipeline.stabilize(log_name, counter)
             except BaseException as exc:  # noqa: BLE001 - modelled fault
                 stable_event.fail(exc)
                 stable_event.defuse()
                 return
+            wait = self.runtime.now - start
+            if self._stab_ewma is None:
+                self._stab_ewma = wait
+            else:
+                self._stab_ewma += _STAB_ALPHA * (wait - self._stab_ewma)
             stable_event.succeed(True)
 
         self.runtime.sim.process(

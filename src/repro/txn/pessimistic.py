@@ -74,14 +74,18 @@ class PessimisticTxn(LocalTransaction):
             yield from self.manager.stabilize(log_name, counter)
         return counter
 
-    def commit_prepared_async(self) -> Gen:
+    def commit_prepared_async(self, defer_stabilization: bool = False) -> Gen:
         """Resolve a prepared transaction as committed, without waiting
         for the commit record's stabilization.
 
         §V-A: "We do not need to wait for the commit entry to be stable
         to reply to the client" — the (already stable) prepare record and
         coordinator decision guarantee deterministic re-commit after a
-        crash.  Stabilization still proceeds in the background.
+        crash.  Stabilization still proceeds in the background, unless
+        ``defer_stabilization`` is set: then no local fiber is spawned
+        and ``(counter, log_name)`` is returned so the caller can
+        piggyback the target on a 2PC ACK for the coordinator's
+        group-wide round.
         """
         if self.status != TxnStatus.PREPARED:
             raise TransactionError(
@@ -97,6 +101,8 @@ class PessimisticTxn(LocalTransaction):
         )
         self.wal_counter = counter
         self._finalize(TxnStatus.COMMITTED)
+        if defer_stabilization:
+            return counter, log_name
 
         def background_stabilize():
             yield from self.manager.stabilize(log_name, counter)

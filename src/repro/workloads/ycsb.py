@@ -102,6 +102,23 @@ def bulk_load(cluster: TreatyCluster, config: YcsbConfig) -> Gen:
             yield from engine.apply_writes(part)
 
 
+#: bursty arrivals: mean transactions per on-burst (geometric).
+_BURST_MEAN_TXNS = 8
+#: bursty arrivals: Pareto idle-gap scale (seconds) and shape.  Shape
+#: 1.5 gives the heavy tail that makes arrival-gap EWMAs actually move.
+_BURST_IDLE_SCALE = 2.0e-3
+_BURST_IDLE_SHAPE = 1.5
+#: cap on a single idle gap so a run is not one long silence.
+_BURST_IDLE_CAP = 5.0e-2
+
+
+def _pareto_gap(rng: SeededRng) -> float:
+    """One Pareto(shape, scale) idle gap via inverse-transform sampling."""
+    u = rng.random()
+    gap = _BURST_IDLE_SCALE * (1.0 - u) ** (-1.0 / _BURST_IDLE_SHAPE)
+    return min(gap, _BURST_IDLE_CAP)
+
+
 def run_ycsb(
     cluster: TreatyCluster,
     config: YcsbConfig,
@@ -110,13 +127,23 @@ def run_ycsb(
     duration: float = 2.0,
     warmup: float = 0.2,
     max_retries: int = 3,
+    arrivals: str = "closed",
 ) -> None:
     """Run closed-loop YCSB clients until ``duration`` simulated seconds.
 
     Clients are spread over three client machines (the testbed's layout)
     and round-robin across coordinator nodes.  ``metrics`` receives one
     sample per committed transaction.
+
+    ``arrivals`` selects the arrival process: ``"closed"`` is the
+    classic closed loop (next transaction immediately after the last);
+    ``"bursty"`` is an on-off process — geometric bursts of back-to-back
+    transactions separated by Pareto-distributed idle gaps, the
+    heavy-tailed shape under which an adaptive group-commit window has
+    something to adapt to.
     """
+    if arrivals not in ("closed", "bursty"):
+        raise ValueError("unknown arrival process %r" % arrivals)
     machines = [cluster.client_machine() for _ in range(3)]
     sim = cluster.sim
     start_time = sim.now
@@ -128,7 +155,17 @@ def run_ycsb(
         session = cluster.session(machine, coordinator=client_index % cluster.num_nodes)
         rng = SeededRng(cluster.config.seed, "ycsb-client", str(client_index))
         workload = YcsbWorkload(config, rng)
+        burst_rng = rng.child("arrivals")
+        burst_left = 1 + int(burst_rng.random() * 2 * _BURST_MEAN_TXNS)
         while sim.now < end_time:
+            if arrivals == "bursty":
+                if burst_left <= 0:
+                    yield sim.timeout(_pareto_gap(burst_rng))
+                    burst_left = 1 + int(
+                        burst_rng.random() * 2 * _BURST_MEAN_TXNS
+                    )
+                    continue
+                burst_left -= 1
             ops = workload.next_transaction()
             txn_start = sim.now
             committed = False

@@ -1,0 +1,358 @@
+"""Randomized crash-point conformance sweep for piggybacked 2PC.
+
+Every seed builds a fresh cluster, drives a handful of concurrent
+distributed transactions, and fail-stops one node at a seeded crash
+point — one of the observable steps of the 2PC + stabilization
+pipeline:
+
+* ``twopc/prepare_target``  — prepare logged, piggybacked ACK about to
+  leave the participant (its counter target is *not* yet stable);
+* ``twopc/prepare_ack``     — legacy path: prepare stabilized, ACK sent;
+* ``stabilize/group_begin`` — the coordinator's group-wide echo round
+  is in flight (targets chosen, nothing stable yet);
+* ``twopc/decision``        — decision logged to the Clog, not stable;
+* ``twopc/commit_apply``    — a participant applied the commit;
+* ``stabilize/advance``     — a stable-counter gate moved.
+
+The victim is the node that emitted the event or a seeded bystander.
+After a settle period the victim recovers and the suite asserts the
+conformance conditions:
+
+* **atomicity** — each transaction's writes are all present or all
+  absent across every shard, whatever the crash point;
+* **durability** — a transaction whose commit() returned success is
+  fully visible after recovery;
+* **safety** — the strict I1–I5 invariant monitor stays green for the
+  entire run (it raises at the violating instant), and the end-of-run
+  quiescence check (I4/I5 tail sweep) passes.
+
+Crash model: :meth:`TreatyCluster.crash_node` detaches the node's NIC
+— nothing is sent or received afterwards (in-flight frames and zombie
+fibers' sends are dropped at the NIC identity check).  A fiber already
+past its last network wait may still complete its current local disk
+write, which models device I/O that was submitted before the failure;
+the first network interaction parks it forever.
+
+Failing seeds can be exported for offline triage: set
+``CRASH_CONFORMANCE_TRACE_DIR`` and each failure writes a Chrome-trace
+JSON (``chrome://tracing`` / Perfetto) of the full run.  The seed count
+defaults to one pass over every crash scenario; CI widens it with
+``CRASH_CONFORMANCE_SEEDS=<count>`` or ``<start>:<stop>``.
+"""
+
+import os
+
+import pytest
+
+from repro.config import ClusterConfig, TREATY_FULL
+from repro.core import TreatyCluster
+from repro.errors import TransactionAborted
+from repro.obs import write_chrome_trace
+from repro.sim.rng import SeededRng
+
+# -- crash scenarios -----------------------------------------------------------
+
+#: (trace event to crash on, twopc_piggyback flag).  prepare_target and
+#: group_begin only exist under piggybacking; prepare_ack only without.
+SCENARIOS = (
+    (("twopc", "prepare_target"), True),
+    (("stabilize", "group_begin"), True),
+    (("twopc", "decision"), True),
+    (("twopc", "commit_apply"), True),
+    (("stabilize", "advance"), True),
+    (("twopc", "prepare_ack"), False),
+    (("twopc", "decision"), False),
+    (("twopc", "commit_apply"), False),
+)
+
+
+def _seed_list():
+    """Default: one pass over all scenarios plus a few reruns."""
+    spec = os.environ.get("CRASH_CONFORMANCE_SEEDS", "12")
+    if ":" in spec:
+        start, stop = spec.split(":", 1)
+        return list(range(int(start), int(stop)))
+    return list(range(int(spec)))
+
+
+class CrashInjector:
+    """Crash one node at the N-th occurrence of a trace event."""
+
+    def __init__(self, cluster, point, occurrence, victim_offset):
+        self.cluster = cluster
+        self.point = point
+        self.occurrence = occurrence
+        #: 0 crashes the node that emitted the event; 1/2 crash a
+        #: seeded bystander (same step, different failure domain).
+        self.victim_offset = victim_offset
+        self.seen = 0
+        self.crashed = None  # node index, once fired
+
+    def arm(self):
+        self.cluster.obs.tracer.subscribe(self._on_record)
+        return self
+
+    def _on_record(self, rec):
+        if self.crashed is not None or rec["type"] != "event":
+            return
+        if (rec["cat"], rec["name"]) != self.point:
+            return
+        emitter = rec.get("node") or ""
+        if not emitter.startswith("node"):
+            return
+        self.seen += 1
+        if self.seen != self.occurrence:
+            return
+        victim = (int(emitter[4:]) + self.victim_offset) % self.cluster.num_nodes
+        self.crashed = victim
+        self.cluster.crash_node(victim)
+
+
+# -- workload ------------------------------------------------------------------
+
+
+def distinct_keys(cluster, node_index, count, tag):
+    keys, i = [], 0
+    while len(keys) < count:
+        key = b"%s-%05d" % (tag, i)
+        if cluster.partitioner(key) == node_index:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def spread_txns(cluster, count):
+    """``count`` transactions, each writing one key per shard (forced
+    2PC), with per-transaction distinct keys and values."""
+    txns = []
+    for t in range(count):
+        tag = b"cc%02d" % t
+        pairs = [
+            (distinct_keys(cluster, i, 1, tag)[0], b"val-" + tag)
+            for i in range(cluster.num_nodes)
+        ]
+        txns.append((t % cluster.num_nodes, pairs))
+    return txns
+
+
+def read_owner(cluster, key):
+    """Read ``key`` through a fresh transaction on its owning shard."""
+    owner = cluster.partitioner(key)
+
+    def body():
+        txn = cluster.nodes[owner].coordinator.begin()
+        value = yield from txn.get(key)
+        yield from txn.commit()
+        return value
+
+    return cluster.run(body(), name="conformance-read")
+
+
+# -- the sweep -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", _seed_list())
+def test_crash_point_conformance(seed):
+    point, piggyback = SCENARIOS[seed % len(SCENARIOS)]
+    rng = SeededRng(seed, "crash-conformance")
+    occurrence = rng.randint(1, 3)
+    # Bias towards crashing the emitter; sometimes take down a bystander.
+    victim_offset = rng.choice((0, 0, 0, 1, 2))
+
+    config = ClusterConfig(
+        seed=seed,
+        tracing=True,
+        monitor=True,
+        twopc_piggyback=piggyback,
+    )
+    cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+    try:
+        _run_one_seed(cluster, rng, point, occurrence, victim_offset)
+    except BaseException:
+        trace_dir = os.environ.get("CRASH_CONFORMANCE_TRACE_DIR")
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
+            write_chrome_trace(
+                cluster.obs.records(),
+                os.path.join(trace_dir, "seed-%03d.trace.json" % seed),
+            )
+        raise
+
+
+def _run_one_seed(cluster, rng, point, occurrence, victim_offset):
+    sim = cluster.sim
+    txns = spread_txns(cluster, count=6)
+    outcomes = ["pending"] * len(txns)
+
+    def drive(index, coord, pairs, delay):
+        yield sim.timeout(delay)
+        txn = cluster.nodes[coord].coordinator.begin()
+        put_done = [False]
+
+        def put_phase():
+            try:
+                for key, value in pairs:
+                    yield from txn.put(key, value)
+            except TransactionAborted:
+                outcomes[index] = "aborted"
+                return
+            put_done[0] = True
+
+        # A real client times out a stalled operation and gives up; a
+        # put blocked on a crashed shard would otherwise park forever.
+        puts = sim.process(put_phase(), name="puts-%d" % index)
+        yield sim.any_of([puts, sim.timeout(4.0)])
+        if outcomes[index] == "aborted":
+            return
+        if not put_done[0]:
+            outcomes[index] = "stuck"
+            # Give-up path: release locks everywhere (retries until the
+            # crashed shard recovers; from a crashed coordinator the
+            # epoch fence does the job instead).
+            sim.process(txn.rollback(), name="giveup-%d" % index)
+            return
+        try:
+            yield from txn.commit()
+        except TransactionAborted:
+            outcomes[index] = "aborted"
+            return
+        outcomes[index] = "committed"
+
+    injector = CrashInjector(cluster, point, occurrence, victim_offset).arm()
+    for index, (coord, pairs) in enumerate(txns):
+        # Stagger starts so the N-th crash point lands on transactions
+        # in different interleavings across seeds.
+        sim.process(
+            drive(index, coord, pairs, delay=index * rng.uniform(1e-4, 2e-3)),
+            name="conformance-txn-%d" % index,
+        )
+    # Past the prepare-vote timeout (2 s) plus resolution retries; a
+    # transaction blocked on the crashed node parks, everything else
+    # settles to a decision.
+    sim.run(until=sim.now + 6.0)
+
+    if injector.crashed is not None:
+        cluster.run(cluster.recover_node(injector.crashed), name="recover")
+        # Let re-aborts, re-driven commits and prepared-txn resolution
+        # converge before auditing state.
+        sim.run(until=sim.now + 6.0)
+
+    # Conformance: atomicity + durability across every shard.
+    for index, (coord, pairs) in enumerate(txns):
+        values = [read_owner(cluster, key) for key, _ in pairs]
+        present = [value == pairs[i][1] for i, value in enumerate(values)]
+        if outcomes[index] == "committed":
+            assert all(present), (
+                "seed txn %d committed but writes are missing: %s"
+                % (index, values)
+            )
+        else:
+            # Aborted or in-doubt: all-or-nothing, never a partial write.
+            assert all(present) or not any(present), (
+                "txn %d (%s) applied on some shards only: %s"
+                % (index, outcomes[index], values)
+            )
+
+    monitor = cluster.obs.monitor
+    monitor.check_quiescent(now=sim.now)
+    assert monitor.green, monitor.violations
+    # The sweep is only meaningful if the seed actually produced work.
+    assert any(outcome == "committed" for outcome in outcomes) or (
+        injector.crashed is not None
+    )
+
+
+# -- counter-round accounting: the tentpole's headline ------------------------
+
+
+def _distributed_commit(cluster, tag):
+    """One transaction spanning all shards; returns after commit()."""
+    pairs = [
+        (distinct_keys(cluster, i, 1, tag)[0], b"acct-" + tag)
+        for i in range(cluster.num_nodes)
+    ]
+
+    def body():
+        txn = cluster.nodes[0].coordinator.begin()
+        for key, value in pairs:
+            yield from txn.put(key, value)
+        yield from txn.commit()
+
+    cluster.run(body(), name="acct-txn")
+    return pairs
+
+
+def _total_rounds(cluster):
+    return sum(node.counter_client.rounds_executed for node in cluster.nodes)
+
+
+def _txn_events(cluster, cat, name):
+    return [
+        rec
+        for rec in cluster.obs.records()
+        if rec["type"] == "event" and rec["cat"] == cat and rec["name"] == name
+    ]
+
+
+class TestCounterRoundAccounting:
+    def test_piggyback_commits_in_one_critical_path_round(self):
+        """Headline: ≤1 group-wide round per distributed transaction.
+
+        Piggybacking folds every participant's prepare target and the
+        Clog decision entry into a single echo-broadcast round on the
+        commit critical path.  The apply-side targets ride a second,
+        *background* round shared with the COMPLETE record.
+        """
+        config = ClusterConfig(tracing=True, monitor=True)
+        cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        cluster.sim.run(until=cluster.sim.now + 0.1)  # drain bootstrap
+        before = _total_rounds(cluster)
+        _distributed_commit(cluster, b"pg-on")
+        critical = _total_rounds(cluster) - before
+        assert critical <= 1, (
+            "piggybacked distributed commit used %d counter rounds on "
+            "the critical path (expected <= 1)" % critical
+        )
+        # The deferred COMPLETE+apply round runs off the critical path.
+        cluster.sim.run(until=cluster.sim.now + 0.5)
+        total = _total_rounds(cluster) - before
+        assert total <= 2
+
+        # The group-wide round is visible in the trace; the legacy
+        # stabilize-before-ACK events are not.
+        assert _txn_events(cluster, "twopc", "prepare_target")
+        assert _txn_events(cluster, "stabilize", "group_begin")
+        assert not _txn_events(cluster, "twopc", "prepare_ack")
+
+    def test_flag_off_restores_per_node_rounds(self):
+        """``twopc_piggyback=False`` restores the old per-node shape:
+        every participant stabilizes before ACKing, the decision gets
+        its own round, and no group-round events appear in the trace."""
+        config = ClusterConfig(
+            tracing=True, monitor=True, twopc_piggyback=False
+        )
+        cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        cluster.sim.run(until=cluster.sim.now + 0.1)
+        before = _total_rounds(cluster)
+        _distributed_commit(cluster, b"pg-off")
+        critical = _total_rounds(cluster) - before
+        assert critical >= 2, (
+            "per-node path should pay one round per prepare plus the "
+            "decision round, got %d" % critical
+        )
+        assert _txn_events(cluster, "twopc", "prepare_ack")
+        assert not _txn_events(cluster, "twopc", "prepare_target")
+        assert not _txn_events(cluster, "stabilize", "group_begin")
+
+    def test_both_modes_commit_identical_state(self):
+        """The flag changes round accounting, never the outcome."""
+        states = {}
+        for flag in (True, False):
+            config = ClusterConfig(twopc_piggyback=flag)
+            cluster = TreatyCluster(
+                profile=TREATY_FULL, config=config
+            ).start()
+            pairs = _distributed_commit(cluster, b"pg-eq")
+            states[flag] = [read_owner(cluster, key) for key, _ in pairs]
+        assert states[True] == states[False]
+        assert all(value is not None for value in states[True])

@@ -249,6 +249,32 @@ class TestGroupCommitWindow:
         assert client.stable_value(results[0][1]) >= max(counters)
         assert client.rounds_executed - before == 1
 
+    def test_bursty_arrivals_move_the_adaptive_window(self):
+        """On-off (Pareto) arrivals exercise the feedback loop: the
+        arrival-gap EWMA moves off its idle default and the observed
+        stabilization wait sets a floor under the window."""
+        from repro.bench import MetricsCollector
+        from repro.workloads import YcsbConfig, bulk_load, run_ycsb
+
+        cluster = make_cluster()  # group_commit_window=None -> adaptive
+        ycsb = YcsbConfig(num_keys=300, value_size=64, ops_per_txn=4)
+        cluster.run(bulk_load(cluster, ycsb), name="load")
+        metrics = MetricsCollector("bursty")
+        run_ycsb(cluster, ycsb, metrics, num_clients=8, duration=0.3,
+                 warmup=0.05, arrivals="bursty")
+        assert metrics.committed > 0
+        groups = [node.manager.group for node in cluster.nodes]
+        moved = [g for g in groups if g._gap_ewma is not None]
+        assert moved, "no group-commit leader saw an arrival gap"
+        fed = [g for g in groups if g._stab_ewma is not None]
+        assert fed, "no observed stabilize wait fed the window EWMA"
+        cap = cluster.config.group_commit_window_cap
+        for group in fed:
+            delay = group.window_delay()
+            assert delay > 0.0
+            assert delay >= min(cap, group._stab_ewma * 0.1) - 1e-12
+            assert delay <= cap
+
 
 # -- I5: bounded liveness ------------------------------------------------------
 
@@ -290,6 +316,33 @@ class TestLivenessMonitor:
         sim.now = 5.0
         tracer.event("net", "tick")
         assert monitor.green
+
+    def test_bystander_crash_does_not_mask_stuck_txn(self):
+        """I5 blind spot regression: obligations are per-coordinator —
+        an unrelated node's crash must not excuse a stuck transaction
+        whose coordinator is healthy."""
+        sim, tracer, monitor = self._monitored_tracer()
+        tracer.event("twopc", "prepare_ack", node="node1", txn="ee",
+                     log="node1/wal", counter=1, coord=0)
+        tracer.event("node", "crash", node="node2", node_id=2)
+        assert "ee" in monitor.awaiting_decision
+        sim.now = 5.0
+        with pytest.raises(MonitorViolation, match="I5"):
+            tracer.event("net", "tick")
+
+    def test_coordinator_crash_excuses_only_its_txns(self):
+        sim, tracer, monitor = self._monitored_tracer()
+        tracer.event("twopc", "prepare_ack", node="node1", txn="f0",
+                     log="node1/wal", counter=1, coord=0)
+        tracer.event("twopc", "prepare_target", node="node2", txn="f1",
+                     log="node2/wal", counter=1, coord=1)
+        tracer.event("node", "crash", node="node0", node_id=0)
+        # node0's transaction is excused; node1's still owes a decision.
+        assert "f0" not in monitor.awaiting_decision
+        assert "f1" in monitor.awaiting_decision
+        sim.now = 5.0
+        with pytest.raises(MonitorViolation, match="I5.*f1"):
+            tracer.event("net", "tick")
 
     def test_check_quiescent_sweeps_the_tail(self):
         sim, tracer, monitor = self._monitored_tracer(strict=False)

@@ -223,11 +223,20 @@ def _broken_stabilize(self, log_name, counter):
     yield  # pragma: no cover - makes this a generator function
 
 
+def _broken_stabilize_many(self, targets):
+    """The vectored/group entry point lying the same way."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
 class TestMonitorTrips:
     def test_broken_stabilization_trips_invariants(self, monkeypatch):
         cluster = traced_cluster(monitor=True)
         cluster.obs.monitor.strict = False
+        # Break the whole Stabilizer surface: the single-target path and
+        # the vectored path the group-wide piggyback rounds use.
         monkeypatch.setattr(Stabilizer, "__call__", _broken_stabilize)
+        monkeypatch.setattr(Stabilizer, "many", _broken_stabilize_many)
         cluster.run(spread_txn(cluster, tag=b"bs")())
         cluster.sim.run(until=cluster.sim.now + 0.5)
         violations = cluster.obs.monitor.violations

@@ -101,6 +101,21 @@ class TestYcsbDriver:
         assert metrics.throughput() > 0
         assert metrics.mean_latency() > 0
 
+    def test_bursty_arrivals_run_end_to_end(self):
+        cluster = TreatyCluster(profile=DS_ROCKSDB).start()
+        config = YcsbConfig(num_keys=200, value_size=100)
+        cluster.run(bulk_load(cluster, config), name="load")
+        metrics = MetricsCollector()
+        run_ycsb(cluster, config, metrics, num_clients=4, duration=0.2,
+                 warmup=0.05, arrivals="bursty")
+        assert metrics.committed > 0
+
+    def test_unknown_arrival_process_rejected(self):
+        cluster = TreatyCluster(profile=DS_ROCKSDB).start()
+        config = YcsbConfig(num_keys=50, value_size=32)
+        with pytest.raises(ValueError):
+            run_ycsb(cluster, config, MetricsCollector(), arrivals="poisson")
+
     def test_bulk_load_visible_through_transactions(self):
         cluster = TreatyCluster(profile=TREATY_ENC).start()
         config = YcsbConfig(num_keys=100, value_size=64)
