@@ -31,6 +31,9 @@ __all__ = [
     "recovery_experiment",
     "durability_smoke",
     "sweep_group_commit_window",
+    "transport_stats",
+    "netbatch_compare",
+    "scaleout_sweep",
 ]
 
 
@@ -425,6 +428,177 @@ def sweep_group_commit_window(
             ],
         }
         results.append((label, metrics))
+    return results
+
+
+# --- transport batching (frames + seal-op accounting) ------------------------
+
+
+def transport_stats(cluster: TreatyCluster) -> dict:
+    """Fabric and AEAD accounting for one finished run.
+
+    Sums the per-runtime transport counters (``net.seal_ops`` — actual
+    AEAD passes; ``net.messages_sealed`` — messages protected;
+    ``net.batches_sent`` / ``net.frames_saved``) across every node and
+    client machine, merges the batch-occupancy histograms, and reads the
+    fabric's crash-proof cumulative frame/byte counters.
+    """
+    from ..net.erpc import BATCH_OCCUPANCY_BUCKETS
+
+    runtimes = [
+        node.runtime for node in cluster.nodes if node.runtime is not None
+    ]
+    runtimes.extend(machine.runtime for machine in cluster.client_machines)
+
+    def total(name: str) -> int:
+        return sum(rt.metrics.counter(name).value for rt in runtimes)
+
+    occupancy = {
+        "edges": list(BATCH_OCCUPANCY_BUCKETS),
+        "counts": [0] * (len(BATCH_OCCUPANCY_BUCKETS) + 1),
+        "total": 0,
+        "sum": 0.0,
+        "max": None,
+    }
+    for rt in runtimes:
+        hist = rt.metrics.histogram(
+            "net.batch_occupancy", edges=BATCH_OCCUPANCY_BUCKETS
+        )
+        for index, count in enumerate(hist.counts):
+            occupancy["counts"][index] += count
+        occupancy["total"] += hist.total
+        occupancy["sum"] += hist.sum
+        if hist.max is not None:
+            occupancy["max"] = max(occupancy["max"] or 0, hist.max)
+    occupancy["mean"] = (
+        occupancy["sum"] / occupancy["total"] if occupancy["total"] else 0.0
+    )
+    return {
+        "delivered_frames": cluster.fabric.delivered_frames,
+        "dropped_frames": cluster.fabric.dropped_frames,
+        "tx_bytes": cluster.fabric.tx_bytes_total,
+        "seal_ops": total("net.seal_ops"),
+        "messages_sealed": total("net.messages_sealed"),
+        "batches_sent": total("net.batches_sent"),
+        "frames_saved": total("net.frames_saved"),
+        "batch_occupancy": occupancy,
+    }
+
+
+def netbatch_compare(
+    num_clients: Optional[int] = None,
+    duration: Optional[float] = None,
+    read_proportion: float = 0.5,
+    locality: float = 0.0,
+) -> dict:
+    """Same deterministic YCSB run with transport batching off, then on.
+
+    Returns per-configuration throughput plus :func:`transport_stats`,
+    and the headline ratios the CI smoke gate asserts on: delivered
+    frames and AEAD seal operations per committed transaction must both
+    shrink with batching enabled.
+    """
+    from ..config import TREATY_FULL
+
+    num_clients = num_clients or _scaled(24, 48)
+    duration = duration or _scaled(0.15, 0.5)
+    results: dict = {}
+    for label, batching in (("off", False), ("on", True)):
+        config = ClusterConfig(
+            monitor=True,
+            net_batching=batching,
+            monitor_liveness_timeout_s=duration,
+        )
+        cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        ycsb = YcsbConfig(
+            read_proportion=read_proportion,
+            num_keys=2_000,
+            locality=locality,
+        )
+        cluster.run(bulk_load(cluster, ycsb), name="load")
+        metrics = MetricsCollector("netbatch-%s" % label)
+        run_ycsb(
+            cluster,
+            ycsb,
+            metrics,
+            num_clients=num_clients,
+            duration=duration,
+            warmup=duration * 0.25,
+        )
+        monitor = cluster.obs.monitor
+        monitor.check_quiescent(now=cluster.sim.now)
+        stats = transport_stats(cluster)
+        stats["committed"] = metrics.committed
+        stats["aborted"] = metrics.aborted
+        stats["throughput"] = metrics.throughput()
+        stats["monitor"] = monitor.summary()
+        committed = max(1, metrics.committed)
+        stats["frames_per_txn"] = stats["delivered_frames"] / committed
+        stats["seals_per_txn"] = stats["seal_ops"] / committed
+        results[label] = stats
+    off, on = results["off"], results["on"]
+    results["reduction"] = {
+        "frames_per_txn": 1.0 - on["frames_per_txn"] / off["frames_per_txn"],
+        "seals_per_txn": 1.0 - on["seals_per_txn"] / off["seals_per_txn"],
+    }
+    return results
+
+
+def scaleout_sweep(
+    nodes: Tuple[int, ...] = (3, 5, 7, 9),
+    num_clients: Optional[int] = None,
+    duration: Optional[float] = None,
+    locality: float = 0.9,
+) -> List[Tuple[int, dict]]:
+    """Cluster-size sweep (ROADMAP: scale-out) under transport batching.
+
+    Runs a partitioned YCSB workload (``locality`` fraction of
+    transactions single-shard) on TREATY_FULL clusters of growing size
+    and reports, per committed transaction, the counter-round and
+    delivered-frame counts — the quantities that must grow sublinearly
+    with cluster size for batching to pay off at scale.
+    """
+    from ..config import TREATY_FULL
+
+    num_clients = num_clients or _scaled(12, 32)
+    duration = duration or _scaled(0.08, 0.3)
+    results: List[Tuple[int, dict]] = []
+    for num_nodes in nodes:
+        config = ClusterConfig(
+            monitor=True, monitor_liveness_timeout_s=duration
+        )
+        cluster = TreatyCluster(
+            profile=TREATY_FULL, config=config, num_nodes=num_nodes
+        ).start()
+        ycsb = YcsbConfig(
+            read_proportion=0.5, num_keys=1_000, locality=locality
+        )
+        cluster.run(bulk_load(cluster, ycsb), name="load")
+        metrics = MetricsCollector("scaleout-%d" % num_nodes)
+        run_ycsb(
+            cluster,
+            ycsb,
+            metrics,
+            num_clients=num_clients,
+            duration=duration,
+            warmup=duration * 0.25,
+        )
+        monitor = cluster.obs.monitor
+        monitor.check_quiescent(now=cluster.sim.now)
+        _attach_phase_breakdown(metrics, cluster)
+        stats = transport_stats(cluster)
+        stats["committed"] = metrics.committed
+        stats["aborted"] = metrics.aborted
+        stats["throughput"] = metrics.throughput()
+        stats["monitor"] = monitor.summary()
+        committed = max(1, metrics.committed)
+        stats["frames_per_txn"] = stats["delivered_frames"] / committed
+        stats["seals_per_txn"] = stats["seal_ops"] / committed
+        durability = metrics.extra_info["obs"]["durability"]
+        stats["counter_rounds_per_txn"] = (
+            durability.get("rounds_per_committed_txn", 0.0)
+        )
+        results.append((num_nodes, stats))
     return results
 
 

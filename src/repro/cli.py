@@ -8,8 +8,10 @@ Commands:
 * ``tpcc``   — run a TPC-C experiment.
 * ``trace``  — run a workload with tracing on and write a Chrome trace.
 * ``bench``  — durability-pipeline benchmarks: ``smoke`` (monitored
-  full-pipeline run, the CI gate) and ``sweep-window`` (group-commit
-  window latency/throughput frontier).
+  full-pipeline run, the CI gate; ``--net-batch`` compares transport
+  batching off vs on), ``sweep-window`` (group-commit window
+  latency/throughput frontier) and ``scale-out`` (cluster-size sweep
+  under transport batching; see docs/NETWORK.md).
 * ``attacks``— run the attack-detection demonstration.
 """
 
@@ -220,7 +222,11 @@ def cmd_attacks(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.mode == "smoke":
+        if args.net_batch:
+            return _bench_netbatch(args)
         return _bench_smoke(args)
+    if args.mode == "scale-out":
+        return _bench_scaleout(args)
     return _bench_sweep_window(args)
 
 
@@ -253,6 +259,130 @@ def _bench_smoke(args: argparse.Namespace) -> int:
             print("MONITOR VIOLATION: %s" % violation, file=sys.stderr)
         return 1
     return 0
+
+
+def _bench_netbatch(args: argparse.Namespace) -> int:
+    """Batching-off vs batching-on comparison (CI gate for the win).
+
+    Fails the build unless batching strictly reduces both delivered
+    frames and AEAD seal operations per committed transaction, and the
+    invariant monitor stays green in both runs.  ``--hist-out`` writes
+    the batching-on occupancy histogram as JSON (CI artifact).
+    """
+    import json
+
+    from .bench.harness import netbatch_compare
+    from .bench.reporting import format_table
+    from .obs import MonitorViolation
+
+    try:
+        results = netbatch_compare(
+            num_clients=args.clients,
+            duration=args.duration,
+            locality=0.0 if args.locality is None else args.locality,
+        )
+    except MonitorViolation as exc:
+        print("MONITOR VIOLATION: %s" % exc, file=sys.stderr)
+        return 1
+    rows = []
+    for label in ("off", "on"):
+        stats = results[label]
+        rows.append((
+            label,
+            "%d" % stats["committed"],
+            "%.0f" % stats["throughput"],
+            "%.1f" % stats["frames_per_txn"],
+            "%.1f" % stats["seals_per_txn"],
+            "%.2f" % stats["batch_occupancy"]["mean"],
+        ))
+    print(format_table(
+        "transport batching comparison (YCSB 50/50, Treaty full)",
+        ("batching", "committed", "tput (tps)", "frames/txn",
+         "seals/txn", "occupancy"),
+        rows,
+    ))
+    reduction = results["reduction"]
+    print("reduction    : frames/txn %.1f%%  seals/txn %.1f%%"
+          % (reduction["frames_per_txn"] * 100,
+             reduction["seals_per_txn"] * 100))
+    if args.hist_out:
+        with open(args.hist_out, "w") as fh:
+            json.dump(results["on"]["batch_occupancy"], fh, indent=2)
+        print("occupancy histogram written to %s" % args.hist_out)
+    failed = 0
+    for label in ("off", "on"):
+        monitor = results[label]["monitor"]
+        if not monitor.get("green", True):
+            for violation in monitor["violations"]:
+                print("MONITOR VIOLATION (batching %s): %s"
+                      % (label, violation), file=sys.stderr)
+            failed = 1
+    if reduction["frames_per_txn"] <= 0.0 or reduction["seals_per_txn"] <= 0.0:
+        print("FAIL: batching did not reduce frames and seal ops per txn",
+              file=sys.stderr)
+        failed = 1
+    return failed
+
+
+def _bench_scaleout(args: argparse.Namespace) -> int:
+    """Cluster-size sweep: per-txn frame/counter-round growth."""
+    from .bench.harness import scaleout_sweep
+    from .bench.reporting import format_table
+    from .obs import MonitorViolation
+
+    nodes = tuple(int(token) for token in args.nodes.split(","))
+    locality = 0.9 if args.locality is None else args.locality
+    try:
+        results = scaleout_sweep(
+            nodes=nodes,
+            num_clients=args.clients,
+            duration=args.duration,
+            locality=locality,
+        )
+    except MonitorViolation as exc:
+        print("MONITOR VIOLATION: %s" % exc, file=sys.stderr)
+        return 1
+    rows = []
+    for num_nodes, stats in results:
+        rows.append((
+            "%d" % num_nodes,
+            "%d" % stats["committed"],
+            "%.0f" % stats["throughput"],
+            "%.1f" % stats["frames_per_txn"],
+            "%.1f" % stats["seals_per_txn"],
+            "%.3f" % stats["counter_rounds_per_txn"],
+        ))
+    print(format_table(
+        "scale-out sweep (partitioned YCSB, locality %.0f%%)"
+        % (locality * 100),
+        ("nodes", "committed", "tput (tps)", "frames/txn",
+         "seals/txn", "rounds/txn"),
+        rows,
+    ))
+    failed = 0
+    for num_nodes, stats in results:
+        monitor = stats["monitor"]
+        if not monitor.get("green", True):
+            for violation in monitor["violations"]:
+                print("MONITOR VIOLATION (%d nodes): %s"
+                      % (num_nodes, violation), file=sys.stderr)
+            failed = 1
+    # Sublinear growth gate: frames per txn from the smallest to the
+    # largest cluster must grow by less than the node-count ratio.
+    if len(results) >= 2:
+        first_nodes, first = results[0]
+        last_nodes, last = results[-1]
+        node_ratio = last_nodes / first_nodes
+        frame_ratio = last["frames_per_txn"] / max(
+            1e-9, first["frames_per_txn"]
+        )
+        print("growth       : nodes x%.2f  frames/txn x%.2f"
+              % (node_ratio, frame_ratio))
+        if frame_ratio >= node_ratio:
+            print("FAIL: frames per txn grew superlinearly with cluster size",
+                  file=sys.stderr)
+            failed = 1
+    return failed
 
 
 def _bench_sweep_window(args: argparse.Namespace) -> int:
@@ -358,12 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=cmd_trace)
 
     bench = subparsers.add_parser(
-        "bench", help="durability-pipeline benchmarks (smoke, sweep-window)"
+        "bench",
+        help="durability-pipeline benchmarks (smoke, sweep-window, scale-out)",
     )
     bench.add_argument(
-        "mode", choices=["smoke", "sweep-window"],
+        "mode", choices=["smoke", "sweep-window", "scale-out"],
         help="smoke: monitored full-pipeline run (CI gate); "
-             "sweep-window: group-commit window frontier",
+             "sweep-window: group-commit window frontier; "
+             "scale-out: cluster-size sweep under transport batching",
     )
     bench.add_argument("--clients", type=int, default=None,
                        help="concurrent YCSB clients")
@@ -379,6 +511,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrivals", default="closed", choices=["closed", "bursty"],
         help="sweep-window arrival process: closed loop or bursty "
              "(on-off with Pareto idle gaps)",
+    )
+    bench.add_argument(
+        "--net-batch", action="store_true",
+        help="smoke mode: compare transport batching off vs on and "
+             "assert the frame/seal-op reduction (CI gate)",
+    )
+    bench.add_argument(
+        "--hist-out", default=None,
+        help="with --net-batch: write the batch-occupancy histogram "
+             "as JSON to this path (CI artifact)",
+    )
+    bench.add_argument(
+        "--nodes", default="3,5,7,9",
+        help="scale-out mode: comma-separated cluster sizes",
+    )
+    bench.add_argument(
+        "--locality", type=float, default=None,
+        help="fraction of transactions kept single-shard (partitioned "
+             "workload; defaults: 0.0 for --net-batch, 0.9 for scale-out)",
     )
     bench.set_defaults(func=cmd_bench)
 

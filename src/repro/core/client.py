@@ -18,7 +18,7 @@ from typing import Any, Dict, Generator, Tuple
 
 from ..config import ClusterConfig, EnvProfile, Runtime
 from ..crypto.keys import KeyRing
-from ..errors import TransactionAborted
+from ..errors import NetworkError, TransactionAborted
 from ..net.erpc import ErpcEndpoint
 from ..net.message import MsgType, TxMessage
 from ..net.secure_rpc import SecureRpc
@@ -209,7 +209,16 @@ class ClientTxn:
             next(self._op_seq),
             _encode_op(kind, self.flags, key, value),
         )
-        reply = yield from machine.rpc.call(self.session.coordinator, message)
+        try:
+            reply = yield from machine.rpc.call(
+                self.session.coordinator, message
+            )
+        except NetworkError as exc:
+            # The coordinator crashed mid-request (fail-fast on NIC
+            # detach): surface it as an abort so closed-loop workloads
+            # move on instead of hanging on a dead continuation.
+            self.session.aborted += 1
+            raise TransactionAborted("coordinator unreachable: %s" % exc)
         if reply.msg_type == MsgType.FAIL:
             self.session.aborted += 1
             raise TransactionAborted(reply.body.decode() or "aborted")

@@ -13,7 +13,7 @@ import itertools
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..config import ClusterConfig, EnvProfile
-from ..errors import FreshnessError
+from ..errors import FreshnessError, NetworkError
 from ..net.erpc import ErpcEndpoint
 from ..net.message import MsgType, TxMessage
 from ..net.secure_rpc import SecureRpc
@@ -136,10 +136,12 @@ class TreatyNode:
         self.cluster_endpoint = ErpcEndpoint(self.runtime, self.fabric, cluster_nic)
         self.front_endpoint = ErpcEndpoint(self.runtime, self.fabric, front_nic)
         self.cluster_rpc = SecureRpc(
-            self.runtime, self.cluster_endpoint, self.keyring, self.numeric_id
+            self.runtime, self.cluster_endpoint, self.keyring,
+            self.numeric_id, epoch=self.boot_count,
         )
         self.front_rpc = SecureRpc(
-            self.runtime, self.front_endpoint, self.keyring, self.numeric_id
+            self.runtime, self.front_endpoint, self.keyring,
+            self.numeric_id, epoch=self.boot_count,
         )
         sealing = SealingKey(self.platform_secret, TREATY_MEASUREMENT)
         self.replica = CounterReplica(
@@ -443,29 +445,43 @@ class TreatyNode:
         for _attempt in range(10):
             if not pending:
                 return
-            events = {
-                node: self.cluster_rpc.enqueue(
-                    self.addresses[node],
-                    TxMessage(
-                        MsgType.TXN_FENCE,
-                        self.numeric_id,
-                        self.boot_count,
-                        _RESOLUTION_OP_BASE
-                        | (self.boot_count << 40)
-                        | next(self._resolution_ops),
-                    ),
-                )
-                for node in sorted(pending)
-            }
+            ordered = sorted(pending)
+            fences = self.cluster_rpc.broadcast(
+                [
+                    (
+                        self.addresses[node],
+                        TxMessage(
+                            MsgType.TXN_FENCE,
+                            self.numeric_id,
+                            self.boot_count,
+                            _RESOLUTION_OP_BASE
+                            | (self.boot_count << 40)
+                            | next(self._resolution_ops),
+                        ),
+                    )
+                    for node in ordered
+                ]
+            )
+            events = dict(zip(ordered, fences))
+            round_start = self.sim.now
             yield self.sim.any_of(
                 [
-                    self.sim.all_of(list(events.values())),
+                    self.sim.all_settled(list(events.values())),
                     self.sim.timeout(RESOLUTION_RETRY_INTERVAL),
                 ]
             )
             for node, event in events.items():
                 if event.triggered and event.ok:
                     pending.discard(node)
+            if pending:
+                # A crashed peer fails its fence instantly; pace the
+                # retry so ten attempts span real time instead of one
+                # same-instant burst.
+                remainder = RESOLUTION_RETRY_INTERVAL - (
+                    self.sim.now - round_start
+                )
+                if remainder > 0.0:
+                    yield self.sim.timeout(remainder)
 
     def _resolve_prepared(self, txn_id: bytes, txn) -> Gen:
         """Ask the coordinator how a recovered prepared txn was decided."""
@@ -476,10 +492,18 @@ class TreatyNode:
             )
             commit = decision == ClogRecord.COMMIT
         else:
-            reply = yield from self.cluster_rpc.call(
-                self.addresses[gid.node_id],
-                self._resolution_message(MsgType.TXN_RESOLVE, gid),
-            )
+            # The coordinator may itself be down; its answer is the only
+            # safe way to decide, so retry until it is reachable.
+            while True:
+                try:
+                    reply = yield from self.cluster_rpc.call(
+                        self.addresses[gid.node_id],
+                        self._resolution_message(MsgType.TXN_RESOLVE, gid),
+                    )
+                except NetworkError:
+                    yield self.sim.timeout(RESOLUTION_RETRY_INTERVAL)
+                    continue
+                break
             commit = reply.body == b"commit"
         self.participant.active.pop(txn_id, None)
         if commit:
@@ -551,21 +575,24 @@ class TreatyNode:
             )
 
     def _broadcast_resolution(self, msg_type: int, record: ClogRecord) -> Gen:
-        events = []
+        pairs = []
         for node in record.participants:
             if node == self.numeric_id:
                 continue
             address = self.addresses.get(node)
             if address is None:
                 continue
-            events.append(
-                self.cluster_rpc.enqueue(
-                    address, self._resolution_message(msg_type, record.gid)
-                )
+            pairs.append(
+                (address, self._resolution_message(msg_type, record.gid))
             )
         replies = []
-        if events:
-            yield self.sim.all_of(events)
+        if pairs:
+            events = self.cluster_rpc.broadcast(pairs)
+            # A participant that is down fails its event (fail-fast on
+            # NIC detach); it resolves its own prepared half against
+            # this coordinator when it recovers, so settled — not
+            # all-ok — is the right barrier here.
+            yield self.sim.all_settled(events)
             replies = [
                 event.value for event in events
                 if event.triggered and event.ok

@@ -27,6 +27,14 @@ The invariants are unchanged: a transaction is acknowledged only after
 its WAL entry's counter is stable, 2PC decision entries are stabilized
 before participants act, and the monitor's I1–I4 checks still learn
 stability exclusively from counter-advance events.
+
+The pipeline composes with the transport's doorbell batching
+(``docs/NETWORK.md``): each vectored echo round is a same-instant
+fan-out of UPDATE/CONFIRM messages to every counter peer, issued via
+:meth:`SecureRpc.broadcast`, so the eRPC layer coalesces a round's
+messages per destination into one sealed frame.  Group commit amortizes
+*rounds per transaction*; transport batching amortizes *frames and seal
+operations per round* — the two multiply.
 """
 
 from __future__ import annotations

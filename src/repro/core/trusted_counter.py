@@ -417,21 +417,28 @@ class CounterClient:
         must not wedge the round once the quorum has answered.
         """
         body = encode_counter_vector(targets)
-        events = [
-            self.rpc.enqueue(
-                peer,
-                TxMessage(
-                    msg_type, self.node_numeric_id, self.epoch, self._next_op(), body
-                ),
-                express=True,  # dedicated counter-service enclave thread
-            )
-            for peer in self.peers
-        ]
+        # One broadcast enqueues every peer in the same instant, so each
+        # peer's echo message coalesces into the same transport batch as
+        # concurrent 2PC traffic headed its way.  A crashed peer fails
+        # its event immediately, which simply counts as a missing ACK.
+        events = self.rpc.broadcast(
+            [
+                (
+                    peer,
+                    TxMessage(
+                        msg_type, self.node_numeric_id, self.epoch,
+                        self._next_op(), body,
+                    ),
+                )
+                for peer in self.peers
+            ],
+            express=True,  # dedicated counter-service enclave thread
+        )
         acks = 1  # the local replica always participates
         if events:
             yield self.runtime.sim.any_of(
                 [
-                    self.runtime.sim.all_of(events),
+                    self.runtime.sim.all_settled(events),
                     self.runtime.sim.timeout(self.round_timeout),
                 ]
             )
@@ -475,20 +482,22 @@ class CounterClient:
         """
         log_names = list(log_names)
         body = encode_counter_vector([(name, 0) for name in log_names])
-        events = [
-            self.rpc.enqueue(
-                peer,
-                TxMessage(
-                    MsgType.RECOVERY_QUERY,
-                    self.node_numeric_id,
-                    self.epoch,
-                    self._next_op(),
-                    body,
-                ),
-                express=True,
-            )
-            for peer in self.peers
-        ]
+        events = self.rpc.broadcast(
+            [
+                (
+                    peer,
+                    TxMessage(
+                        MsgType.RECOVERY_QUERY,
+                        self.node_numeric_id,
+                        self.epoch,
+                        self._next_op(),
+                        body,
+                    ),
+                )
+                for peer in self.peers
+            ],
+            express=True,
+        )
         freshest = {
             name: self.replica.confirmed.get(name, 0) for name in log_names
         }
@@ -496,7 +505,7 @@ class CounterClient:
         if events:
             yield self.runtime.sim.any_of(
                 [
-                    self.runtime.sim.all_of(events),
+                    self.runtime.sim.all_settled(events),
                     self.runtime.sim.timeout(self.round_timeout),
                 ]
             )

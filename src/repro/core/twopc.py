@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..errors import (
+    NetworkError,
     TransactionAborted,
     TransactionError,
 )
@@ -527,9 +528,18 @@ class GlobalTxn:
 
     def _remote_call(self, node: int, message: TxMessage) -> Gen:
         self.remote_participants.add(node)
-        reply = yield from self.coordinator.rpc.call(
-            self._address_of(node), message
-        )
+        try:
+            reply = yield from self.coordinator.rpc.call(
+                self._address_of(node), message
+            )
+        except NetworkError as exc:
+            # The participant's NIC detached (crash) — the transport
+            # fails the continuation instead of leaking it.  Surface a
+            # synthetic FAIL so every call site takes its abort path.
+            reply = TxMessage(
+                MsgType.FAIL, message.node_id, message.txn_id, message.op_id,
+                str(exc).encode(),
+            )
         return reply
 
     # -- interactive operations (TXNGET / TXNPUT) ----------------------------------
@@ -606,9 +616,14 @@ class GlobalTxn:
 
     # -- batched multi-put (coordinators may defer transmissions, §V-A) -------------
     def put_many(self, pairs: List[Tuple[bytes, bytes]]) -> Gen:
-        """Enqueue writes to all owners before yielding (Figure 2, 1–2)."""
+        """Enqueue writes to all owners before yielding (Figure 2, 1–2).
+
+        Because every remote write is enqueued before the first yield,
+        writes sharing an owner coalesce into the same transport batch.
+        """
         self._check_active()
         events = []
+        owners = []
         for key, value in pairs:
             owner = self.coordinator.partitioner(key)
             if owner == self.coordinator.node_numeric_id:
@@ -620,14 +635,20 @@ class GlobalTxn:
                     raise
             else:
                 self.remote_participants.add(owner)
+                owners.append(owner)
                 events.append(
                     self.coordinator.rpc.enqueue(
                         self._address_of(owner),
                         self._message(MsgType.TXN_WRITE, _encode_write(key, value)),
                     )
                 )
-        replies = yield self.runtime.sim.all_of(events)
-        for reply in replies:
+        yield self.runtime.sim.all_settled(events)
+        for owner, event in zip(owners, events):
+            if not event.ok:
+                # The owner crashed mid-write: abort everyone reachable.
+                yield from self.rollback(failed_node=owner)
+                raise TransactionAborted("remote write failed: %s" % event.value)
+            reply = event.value
             if reply.msg_type != MsgType.ACK:
                 yield from self.rollback()
                 raise TransactionAborted(reply.body.decode() or "remote write failed")
@@ -668,13 +689,15 @@ class GlobalTxn:
         # Prepare everyone (remote prepares batched; local in parallel).
         # A participant that does not answer within the vote timeout is
         # counted as a NO vote — a crashed participant must not block
-        # the decision (it learns the abort when it recovers).
-        events = [
-            coordinator.rpc.enqueue(
-                self._address_of(node), self._message(MsgType.TXN_PREPARE)
-            )
-            for node in participants
-        ]
+        # the decision (it learns the abort when it recovers).  The
+        # broadcast enqueues every destination in one instant, so each
+        # destination's PREPARE coalesces with concurrent rounds.
+        events = coordinator.rpc.broadcast(
+            [
+                (self._address_of(node), self._message(MsgType.TXN_PREPARE))
+                for node in participants
+            ]
+        )
         if self._local_txn is not None:
             events.append(
                 self.runtime.sim.process(
@@ -683,7 +706,7 @@ class GlobalTxn:
             )
         yield self.runtime.sim.any_of(
             [
-                self.runtime.sim.all_of(events),
+                self.runtime.sim.all_settled(events),
                 self.runtime.sim.timeout(PREPARE_VOTE_TIMEOUT),
             ]
         )
@@ -852,15 +875,15 @@ class GlobalTxn:
         pending = set(participants)
         replies: Dict[int, TxMessage] = {}
         while pending:
-            events = {
-                node: self.coordinator.rpc.enqueue(
-                    self._address_of(node), self._message(msg_type)
-                )
-                for node in sorted(pending)
-            }
+            nodes = sorted(pending)
+            events = dict(zip(nodes, self.coordinator.rpc.broadcast(
+                [(self._address_of(node), self._message(msg_type))
+                 for node in nodes]
+            )))
+            round_start = self.runtime.now
             yield self.runtime.sim.any_of(
                 [
-                    self.runtime.sim.all_of(list(events.values())),
+                    self.runtime.sim.all_settled(list(events.values())),
                     self.runtime.sim.timeout(RESOLUTION_RETRY_INTERVAL),
                 ]
             )
@@ -868,6 +891,15 @@ class GlobalTxn:
                 if event.triggered and event.ok:
                     pending.discard(node)
                     replies[node] = event.value
+            if pending:
+                # A crashed destination settles its events instantly
+                # (failed), so pace the retries: without this the loop
+                # would spin at a single simulated instant.
+                remainder = RESOLUTION_RETRY_INTERVAL - (
+                    self.runtime.now - round_start
+                )
+                if remainder > 0.0:
+                    yield self.runtime.sim.timeout(remainder)
         return replies
 
     def rollback(self, failed_node: Optional[int] = None) -> Gen:

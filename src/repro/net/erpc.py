@@ -14,7 +14,13 @@ host hugepages.  This module reproduces those semantics:
   deliberately live in host memory so no EPC paging is triggered — the
   design §VII-A calls out;
 * request handlers run as freshly spawned fibers on the destination node
-  (``ExecuteTxnReqHandler`` in Figure 2).
+  (``ExecuteTxnReqHandler`` in Figure 2);
+* **transport batching** (``net_batching``): concurrent messages to the
+  same destination are coalesced per TX queue during a short doorbell
+  window (eRPC's TxBurst), so a 2PC fan-out storm or a counter echo
+  round pays one header, one per-frame NIC charge and one propagation
+  per destination instead of one per message.  The RX side unbatches
+  and dispatches each sub-message as its own fiber.
 
 The event-based continuation is exactly how the coordinator batches
 requests to many participants before yielding.
@@ -23,14 +29,16 @@ requests to many participants before yielding.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Set, Tuple
 
+from ..errors import NetworkError
 from ..memory.allocator import MempoolAllocator
 from ..sim.core import Event, Simulator
 from ..tee.runtime import NodeRuntime
 from .simnet import Fabric, Frame, Nic
 
-__all__ = ["ErpcEndpoint", "RpcReply"]
+__all__ = ["ErpcEndpoint", "RpcReply", "BATCH_OCCUPANCY_BUCKETS"]
 
 # A request handler receives (payload, src_address) and returns the reply
 # payload and its size in bytes: both via a generator so it can do work.
@@ -38,7 +46,12 @@ Handler = Callable[[Any, str], Generator[Event, Any, Tuple[Any, int]]]
 
 #: eRPC per-message header bytes on the wire (approximation of eRPC's
 #: packet header; constant across all systems so it does not skew ratios).
+#: A coalesced batch carries ONE header regardless of how many
+#: sub-messages it holds — that is part of the batching win.
 HEADER_BYTES = 16
+
+#: bucket edges for the batch-occupancy histogram (messages per frame).
+BATCH_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
 
 
 class RpcReply:
@@ -50,6 +63,25 @@ class RpcReply:
         self.payload = payload
         self.nbytes = nbytes
         self.src = src
+
+
+class _SubMsg:
+    """One message queued for coalescing into a batch frame."""
+
+    __slots__ = ("req_type", "payload", "nbytes", "req_id")
+
+    def __init__(self, req_type: int, payload: Any, nbytes: int, req_id: int):
+        self.req_type = req_type
+        self.payload = payload
+        self.nbytes = nbytes
+        self.req_id = req_id
+
+    def meta(self) -> Dict[str, Any]:
+        return {
+            "req_id": self.req_id,
+            "req_type": self.req_type,
+            "nbytes": self.nbytes,
+        }
 
 
 class ErpcEndpoint:
@@ -72,11 +104,37 @@ class ErpcEndpoint:
             runtime.host_memory, heaps=runtime.config.cores_per_node
         )
         self._handlers: Dict[int, Handler] = {}
-        self._pending: Dict[int, Event] = {}
+        #: req_id -> (destination address, continuation event).  The
+        #: destination is kept so continuations can be failed fast when
+        #: that destination's NIC detaches (node crash).
+        self._pending: Dict[int, Tuple[str, Event]] = {}
         self._req_seq = itertools.count(1)
         self.requests_sent = 0
         self.requests_served = 0
         self._rx_running = False
+        # -- transport batching -------------------------------------------
+        config = runtime.config
+        self.batching = bool(getattr(config, "net_batching", False))
+        self.batch_window = getattr(config, "net_tx_batch_window", 0.0)
+        self.batch_max = max(1, getattr(config, "net_tx_batch_max", 1))
+        #: optional secure batch codec (installed by SecureRpc): seals a
+        #: whole batch in one AEAD pass and unseals/replay-checks it on
+        #: receive.  Without a codec the batch travels as a payload list.
+        self.batch_codec: Optional[Any] = None
+        #: per-(destination, direction) coalescing queues.  Requests and
+        #: responses are queued separately so a batch frame carries one
+        #: truthful top-level ``is_request`` flag (adversary rules and
+        #: trace predicates key on it).
+        self._tx_queues: Dict[Tuple[str, bool], Deque[_SubMsg]] = {}
+        self._flushers: Set[Tuple[str, bool]] = set()
+        self.batches_sent = 0
+        metrics = runtime.metrics
+        self._occupancy_hist = metrics.histogram(
+            "net.batch_occupancy", BATCH_OCCUPANCY_BUCKETS
+        )
+        self._frames_saved_counter = metrics.counter("net.frames_saved")
+        self._batches_counter = metrics.counter("net.batches_sent")
+        fabric.on_detach(self._on_peer_detach)
 
     # -- wiring -------------------------------------------------------------
     def register_handler(self, req_type: int, handler: Handler) -> None:
@@ -103,12 +161,16 @@ class ErpcEndpoint:
         self.start()
         req_id = next(self._req_seq)
         continuation = self.sim.event()
-        self._pending[req_id] = continuation
+        self._pending[req_id] = (dst, continuation)
         self.requests_sent += 1
-        self.sim.process(
-            self._send(dst, req_type, payload, nbytes, req_id, is_request=True),
-            name="erpc-tx@%s" % self.nic.address,
-        )
+        sub = _SubMsg(req_type, payload, nbytes, req_id)
+        if self.batching:
+            self._enqueue_tx(dst, sub, is_request=True)
+        else:
+            self.sim.process(
+                self._send(dst, req_type, payload, nbytes, req_id, is_request=True),
+                name="erpc-tx@%s" % self.nic.address,
+            )
         return continuation
 
     def call(
@@ -118,6 +180,45 @@ class ErpcEndpoint:
         reply = yield self.enqueue_request(dst, req_type, payload, nbytes)
         return reply
 
+    # -- crash handling ---------------------------------------------------------
+    def _on_peer_detach(self, address: str) -> None:
+        """Fail continuations of requests whose destination just crashed.
+
+        Without this, a coordinator fiber waiting on a crashed
+        participant's reply blocks forever and its ``_pending`` entry
+        (plus the associated msgbuf) leaks.  Our *own* address detaching
+        means this node crashed: its fibers are zombies that must park,
+        not be woken with errors.
+        """
+        if address == self.nic.address:
+            return
+        stale = [
+            req_id
+            for req_id, (dst, _) in self._pending.items()
+            if dst == address
+        ]
+        for req_id in stale:
+            _, continuation = self._pending.pop(req_id)
+            self._fail_continuation(
+                continuation, NetworkError("destination %r crashed" % address)
+            )
+
+    @staticmethod
+    def _fail_continuation(continuation: Event, exc: BaseException) -> None:
+        if continuation.triggered:
+            return
+        continuation.fail(exc)
+        # Defuse so an un-awaited continuation (fire-and-forget caller)
+        # does not crash the simulator; an awaiting fiber still gets the
+        # exception thrown into it.
+        continuation.defuse()
+
+    def _fail_subs(self, subs: List[Dict[str, Any]], exc: BaseException) -> None:
+        for sub_meta in subs:
+            entry = self._pending.pop(sub_meta.get("req_id"), None)
+            if entry is not None:
+                self._fail_continuation(entry[1], exc)
+
     # -- data path ----------------------------------------------------------------
     def _tx_cpu_cost(self, wire_bytes: int) -> float:
         """Userspace driver cost: per-frame poll/burst work plus the copy."""
@@ -125,6 +226,92 @@ class ErpcEndpoint:
         costs = self.runtime.costs
         return frames * costs.nic_frame_cost + wire_bytes * costs.copy_per_byte
 
+    # -- TX batching --------------------------------------------------------------
+    def _enqueue_tx(self, dst: str, sub: _SubMsg, is_request: bool) -> None:
+        """Append to the destination's TX queue; arm its flusher fiber."""
+        key = (dst, is_request)
+        queue = self._tx_queues.get(key)
+        if queue is None:
+            queue = self._tx_queues[key] = deque()
+        queue.append(sub)
+        if key not in self._flushers:
+            self._flushers.add(key)
+            self.sim.process(
+                self._flush_loop(dst, is_request),
+                name="erpc-txq@%s->%s" % (self.nic.address, dst),
+            )
+
+    def _flush_loop(self, dst: str, is_request: bool):
+        """Drain one destination's TX queue, one batch frame at a time.
+
+        The doorbell window lets concurrent senders join the batch; a
+        full batch (``net_tx_batch_max``) is sealed immediately.
+        """
+        key = (dst, is_request)
+        queue = self._tx_queues[key]
+        try:
+            while queue:
+                if self.batch_window > 0.0 and len(queue) < self.batch_max:
+                    yield self.sim.timeout(self.batch_window)
+                batch: List[_SubMsg] = []
+                while queue and len(batch) < self.batch_max:
+                    batch.append(queue.popleft())
+                yield from self._transmit_batch(dst, batch, is_request)
+        finally:
+            self._flushers.discard(key)
+
+    def _transmit_batch(self, dst: str, batch: List[_SubMsg], is_request: bool):
+        """Seal (optionally), charge and transmit one coalesced frame."""
+        meta_extra: Dict[str, Any] = {}
+        if self.batch_codec is not None:
+            payload, payload_bytes, meta_extra = yield from self.batch_codec.encode_batch(
+                [sub.payload for sub in batch]
+            )
+        else:
+            payload = [sub.payload for sub in batch]
+            payload_bytes = sum(sub.nbytes for sub in batch)
+        wire_bytes = payload_bytes + HEADER_BYTES
+        msgbuf = self.msgbuf_pool.alloc(max(wire_bytes, 1))
+        try:
+            if self.runtime.profile.in_enclave:
+                yield from self.runtime.msgbuf_shield(wire_bytes)
+            yield from self.runtime.compute(self._tx_cpu_cost(wire_bytes))
+            frame = Frame(
+                src=self.nic.address,
+                dst=dst,
+                wire_bytes=wire_bytes,
+                payload=payload,
+                kind="erpc",
+                meta=dict(
+                    meta_extra,
+                    batch=[sub.meta() for sub in batch],
+                    count=len(batch),
+                    is_request=is_request,
+                    req_type=batch[0].req_type,
+                ),
+            )
+            self.batches_sent += 1
+            self._batches_counter.inc()
+            self._occupancy_hist.observe(len(batch))
+            baseline_frames = sum(
+                self.fabric.frames_for(sub.nbytes + HEADER_BYTES) for sub in batch
+            )
+            saved = baseline_frames - self.fabric.frames_for(wire_bytes)
+            if saved > 0:
+                self._frames_saved_counter.inc(saved)
+            yield from self.nic.transmit(frame)
+        finally:
+            msgbuf.release()
+        if is_request and dst not in self.fabric._nics:
+            # The destination is already gone: the delivery fiber will
+            # drop the frame, so fail the batch's continuations now
+            # instead of letting retry loops leak pending entries.
+            self._fail_subs(
+                [sub.meta() for sub in batch],
+                NetworkError("destination %r unreachable" % dst),
+            )
+
+    # -- legacy unbatched TX ------------------------------------------------------
     def _send(
         self,
         dst: str,
@@ -158,7 +345,14 @@ class ErpcEndpoint:
             yield from self.nic.transmit(frame)
         finally:
             msgbuf.release()
+        if is_request and dst not in self.fabric._nics:
+            entry = self._pending.pop(req_id, None)
+            if entry is not None:
+                self._fail_continuation(
+                    entry[1], NetworkError("destination %r unreachable" % dst)
+                )
 
+    # -- RX ----------------------------------------------------------------------
     def _rx_loop(self):
         """The polling loop: RxBurst, dispatch, repeat (Figure 2 step 4).
 
@@ -178,31 +372,75 @@ class ErpcEndpoint:
             yield from self.runtime.msgbuf_shield(frame.wire_bytes)
         yield from self.runtime.compute(self._tx_cpu_cost(frame.wire_bytes))
         meta = frame.meta
-        if meta.get("is_request"):
-            yield from self._serve(frame)
-        else:
-            continuation = self._pending.pop(meta.get("req_id"), None)
-            if continuation is not None and not continuation.triggered:
-                continuation.succeed(
-                    RpcReply(frame.payload, meta.get("nbytes", 0), frame.src)
+        subs = meta.get("batch")
+        if subs is None:
+            # Unbatched frame (legacy path / foreign endpoints).
+            if meta.get("is_request"):
+                yield from self._serve_one(
+                    meta["req_type"], frame.payload, frame.src, meta["req_id"]
                 )
-            # else: stale/duplicated response — dropped, at-most-once.
+            else:
+                self._complete(
+                    meta.get("req_id"), frame.payload, meta.get("nbytes", 0),
+                    frame.src,
+                )
+            return
+        is_request = meta.get("is_request", False)
+        if self.batch_codec is not None:
+            try:
+                parts = yield from self.batch_codec.decode_batch(
+                    frame.payload, frame.src, meta
+                )
+            except Exception as exc:  # noqa: BLE001 - modelled tampering
+                if not is_request:
+                    # A corrupted *response* batch fails every waiting
+                    # continuation (the senders see the integrity error);
+                    # a corrupted request surfaces at the receiving node.
+                    self._fail_subs(subs, exc)
+                    return
+                raise
+            if parts is None:
+                return  # replayed batch: rejected atomically, as a unit
+        else:
+            parts = frame.payload
+        for sub_meta, part in zip(subs, parts):
+            if is_request:
+                self.sim.process(
+                    self._serve_one(
+                        sub_meta["req_type"], part, frame.src, sub_meta["req_id"]
+                    ),
+                    name="erpc-rx@%s" % self.nic.address,
+                )
+            else:
+                self._complete(
+                    sub_meta["req_id"], part, sub_meta.get("nbytes", 0), frame.src
+                )
 
-    def _serve(self, frame: Frame):
+    def _complete(
+        self, req_id: Any, payload: Any, nbytes: int, src: str
+    ) -> None:
+        entry = self._pending.pop(req_id, None)
+        if entry is not None and not entry[1].triggered:
+            entry[1].succeed(RpcReply(payload, nbytes, src))
+        # else: stale/duplicated response — dropped, at-most-once.
+
+    def _serve_one(self, req_type: int, payload: Any, src: str, req_id: int):
         """Run the registered handler and enqueue the response."""
-        meta = frame.meta
-        handler = self._handlers.get(meta["req_type"])
+        handler = self._handlers.get(req_type)
         if handler is None:
             return  # unknown request type: ignore (hardened endpoint)
         self.requests_served += 1
-        reply_payload, reply_bytes = yield from handler(frame.payload, frame.src)
+        reply_payload, reply_bytes = yield from handler(payload, src)
         if reply_payload is None:
             return  # handler chose not to respond (e.g. replayed request)
-        yield from self._send(
-            frame.src,
-            meta["req_type"],
-            reply_payload,
-            reply_bytes,
-            meta["req_id"],
-            is_request=False,
-        )
+        if self.batching:
+            self._enqueue_tx(
+                src,
+                _SubMsg(req_type, reply_payload, reply_bytes, req_id),
+                is_request=False,
+            )
+        else:
+            yield from self._send(
+                src, req_type, reply_payload, reply_bytes, req_id,
+                is_request=False,
+            )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from ..crypto.aead import IV_BYTES, MAC_BYTES, Aead
 from ..errors import IntegrityError, ReplayError
@@ -25,6 +25,11 @@ __all__ = [
     "METADATA_BYTES",
     "PAD_BYTES",
     "wire_size",
+    "pack_parts",
+    "unpack_parts",
+    "seal_batch",
+    "unseal_batch",
+    "batch_wire_size",
 ]
 
 PAD_BYTES = 4  # §VII-A: 4 B payload for memory alignment
@@ -79,6 +84,7 @@ class MsgType:
         15: "TXN_RESOLVE",
         16: "TXN_RESOLVE_REPLY",
         17: "TXN_SCAN",
+        18: "TXN_FENCE",
     }
 
 
@@ -150,6 +156,67 @@ def wire_size(body_len: int, encrypted: bool) -> int:
     if encrypted:
         return IV_BYTES + PAD_BYTES + plain + MAC_BYTES
     return plain
+
+
+# -- batch framing (transport coalescing, §VII-A's eRPC substrate) ---------
+#
+# A coalesced batch concatenates length-prefixed sub-messages and — when
+# encryption is on — seals the whole concatenation under ONE IV and ONE
+# MAC: ``IV (12 B) || padding (4 B) || AEAD(u32 len || part, ...) || MAC``.
+# The batch AAD binds the sender and a per-sender batch sequence number so
+# a replayed batch frame is rejected as a unit.
+
+_PART_LEN = struct.Struct("<I")
+
+
+def pack_parts(parts: Sequence[bytes]) -> bytes:
+    """Length-prefix and concatenate sub-message payloads."""
+    chunks = []
+    for part in parts:
+        chunks.append(_PART_LEN.pack(len(part)))
+        chunks.append(part)
+    return b"".join(chunks)
+
+
+def unpack_parts(blob: bytes) -> List[bytes]:
+    """Split a :func:`pack_parts` concatenation back into payloads."""
+    parts: List[bytes] = []
+    offset = 0
+    total = len(blob)
+    while offset < total:
+        if offset + _PART_LEN.size > total:
+            raise IntegrityError("batch part header truncated")
+        (length,) = _PART_LEN.unpack_from(blob, offset)
+        offset += _PART_LEN.size
+        if offset + length > total:
+            raise IntegrityError("batch part body truncated")
+        parts.append(blob[offset : offset + length])
+        offset += length
+    return parts
+
+
+def seal_batch(
+    aead: Aead, iv: bytes, parts: Sequence[bytes], aad: bytes
+) -> bytes:
+    """One AEAD pass over a whole batch (single IV, single MAC)."""
+    sealed = aead.seal(iv, pack_parts(parts), aad=aad)
+    return sealed[:IV_BYTES] + b"\x00" * PAD_BYTES + sealed[IV_BYTES:]
+
+
+def unseal_batch(aead: Aead, wire: bytes, aad: bytes) -> List[bytes]:
+    """Verify/decrypt a sealed batch and split it into payloads."""
+    if len(wire) < IV_BYTES + PAD_BYTES + MAC_BYTES:
+        raise IntegrityError("sealed batch too short")
+    stripped = wire[:IV_BYTES] + wire[IV_BYTES + PAD_BYTES :]
+    return unpack_parts(aead.open(stripped, aad=aad))
+
+
+def batch_wire_size(part_lens: Sequence[int], encrypted: bool) -> int:
+    """Bytes on the wire for a batch of already-encoded payloads."""
+    packed = sum(part_lens) + _PART_LEN.size * len(part_lens)
+    if encrypted:
+        return IV_BYTES + PAD_BYTES + packed + MAC_BYTES
+    return packed
 
 
 class ReplayGuard:

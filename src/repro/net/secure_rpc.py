@@ -6,6 +6,16 @@ layout before it enters the untrusted host memory and NIC, and every
 received request passes the replay guard so that a duplicated or
 re-injected packet can never double-execute an operation.
 
+With transport batching on (``net_batching``), sealing moves from the
+per-message path into a batch codec installed on the eRPC endpoint: the
+endpoint hands the codec every coalesced batch and ONE AEAD pass (single
+IV, length-prefixed concatenation, single MAC) protects all of it.  The
+batch AAD binds the sender and a per-sender batch sequence number, and a
+batch-level replay-guard entry rejects a replayed frame as a unit —
+drop/duplicate/delay of a coalesced frame affects the whole batch
+atomically.  Per-message ``(node, txn, op)`` replay checks still run on
+the receiving side, unchanged.
+
 When the environment profile disables encryption ("Treaty w/o Enc",
 native baselines), messages travel as plaintext encodings — functionally
 observable by the adversary, which is exactly what that configuration
@@ -16,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 import struct
-from typing import Any, Callable, Generator, Tuple
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
 from ..crypto.keys import KeyRing
 from ..errors import ReplayError
@@ -24,12 +34,101 @@ from ..obs.registry import SIZE_BUCKETS_BYTES
 from ..sim.core import Event
 from ..tee.runtime import NodeRuntime
 from .erpc import ErpcEndpoint
-from .message import MsgType, ReplayGuard, TxMessage, wire_size
+from .message import (
+    MsgType,
+    ReplayGuard,
+    TxMessage,
+    batch_wire_size,
+    pack_parts,
+    seal_batch,
+    unpack_parts,
+    unseal_batch,
+    wire_size,
+)
 
 __all__ = ["SecureRpc"]
 
 # Handler signature: (TxMessage, src_address) -> generator -> TxMessage.
 SecureHandler = Callable[[TxMessage, str], Generator[Event, Any, TxMessage]]
+
+#: AAD for sealed batches; the sender id and batch sequence number are
+#: packed in so a batch replayed under a different identity fails the MAC.
+_AAD_BATCH = b"treaty-batch-v1"
+
+#: replay-guard txn-id sentinel for batch-level sequence entries.  Real
+#: transaction ids are non-negative, so batch entries can never collide
+#: with per-message ``(node, txn, op)`` triples.
+_BATCH_TXN_SENTINEL = -1
+
+
+class _SecureBatchCodec:
+    """Seals/unseals coalesced batches for one :class:`SecureRpc`.
+
+    Installed on the eRPC endpoint when ``net_batching`` is on.  Both
+    directions charge exactly one AEAD cost for the whole batch.
+    """
+
+    __slots__ = ("rpc",)
+
+    def __init__(self, rpc: "SecureRpc"):
+        self.rpc = rpc
+
+    def encode_batch(self, parts: Sequence[bytes]):
+        """One AEAD pass over the whole batch; returns (blob, nbytes, meta)."""
+        rpc = self.rpc
+        if not rpc._encrypted:
+            blob = pack_parts(parts)
+            return blob, len(blob), {}
+            yield  # pragma: no cover - keeps this a generator
+        batch_id = rpc._next_batch_id()
+        aad = _AAD_BATCH + struct.pack(
+            "<QQ", rpc.node_numeric_id & 0xFFFFFFFFFFFFFFFF, batch_id
+        )
+        blob = seal_batch(rpc._aead, rpc._next_iv(), parts, aad)
+        rpc.seal_ops += 1
+        rpc._seal_ops_counter.inc()
+        yield from rpc.runtime.seal_cost(len(blob))
+        return blob, len(blob), {
+            "batch_src": rpc.node_numeric_id,
+            "batch_id": batch_id,
+        }
+
+    def decode_batch(self, payload: bytes, src: str, meta: dict):
+        """Unseal + batch-replay-check; ``None`` drops the batch as a unit."""
+        rpc = self.rpc
+        if not rpc._encrypted:
+            return unpack_parts(payload)
+            yield  # pragma: no cover - keeps this a generator
+        yield from rpc.runtime.seal_cost(len(payload))
+        aad = _AAD_BATCH + struct.pack(
+            "<QQ", meta.get("batch_src", 0) & 0xFFFFFFFFFFFFFFFF,
+            meta.get("batch_id", 0),
+        )
+        try:
+            parts = unseal_batch(rpc._aead, payload, aad)
+        except Exception:
+            rpc.auth_failures += 1
+            rpc._auth_fail_counter.inc()
+            rpc.tracer.event(
+                "net", "auth_failure", node=rpc.runtime.name or None, src=src,
+            )
+            raise
+        rpc.seal_ops += 1
+        rpc._seal_ops_counter.inc()
+        # Batch-level at-most-once: the (sender, batch sequence) pair is
+        # recorded in the same replay guard as per-message triples, so a
+        # duplicated/replayed frame is rejected before any sub-message
+        # dispatches — atomically, as the adversary delivered it.
+        try:
+            rpc.replay_guard.check(
+                TxMessage(
+                    0, meta.get("batch_src", 0), _BATCH_TXN_SENTINEL,
+                    meta.get("batch_id", 0),
+                )
+            )
+        except ReplayError:
+            return None
+        return parts
 
 
 class SecureRpc:
@@ -41,22 +140,36 @@ class SecureRpc:
         endpoint: ErpcEndpoint,
         keyring: KeyRing,
         node_numeric_id: int,
+        epoch: int = 0,
     ):
         self.runtime = runtime
         self.endpoint = endpoint
         self.node_numeric_id = node_numeric_id
+        #: boot epoch folded into batch sequence numbers so a recovered
+        #: node's fresh batches can never collide with (and be rejected
+        #: as replays of) its pre-crash ones.
+        self.epoch = epoch
         self._aead = keyring.network_aead()
         self.replay_guard = ReplayGuard()
         self._iv_seq = itertools.count(1)
+        self._batch_seq = itertools.count(1)
         self.messages_sealed = 0
+        #: actual AEAD passes (seal or open).  With batching on this is
+        #: what shrinks: one pass per coalesced batch instead of one per
+        #: message — the quantity the perf win is pinned on.
+        self.seal_ops = 0
         self.auth_failures = 0
         self.tracer = runtime.tracer
         # Shared across this runtime's RPC endpoints (cluster + front).
         self._sealed_counter = runtime.metrics.counter("net.messages_sealed")
+        self._seal_ops_counter = runtime.metrics.counter("net.seal_ops")
         self._auth_fail_counter = runtime.metrics.counter("net.auth_failures")
         self._wire_hist = runtime.metrics.histogram(
             "net.wire_bytes", SIZE_BUCKETS_BYTES
         )
+        self._batched = endpoint.batching
+        if self._batched:
+            endpoint.batch_codec = _SecureBatchCodec(self)
 
     # -- encoding -----------------------------------------------------------
     @property
@@ -67,11 +180,16 @@ class SecureRpc:
         # Node id + per-node counter: never reused cluster-wide.
         return struct.pack("<IQ", self.node_numeric_id & 0xFFFFFFFF, next(self._iv_seq))
 
+    def _next_batch_id(self) -> int:
+        return (self.epoch << 40) | next(self._batch_seq)
+
     def _encode(self, message: TxMessage) -> Tuple[bytes, int]:
         """Produce wire bytes + size, sealing when the profile encrypts."""
         if self._encrypted:
             self.messages_sealed += 1
             self._sealed_counter.inc()
+            self.seal_ops += 1
+            self._seal_ops_counter.inc()
             wire = message.seal(self._aead, self._next_iv())
         else:
             wire = message.encode()
@@ -79,8 +197,26 @@ class SecureRpc:
         self._wire_hist.observe(nbytes)
         return wire, nbytes
 
+    def _encode_part(self, message: TxMessage) -> Tuple[bytes, int]:
+        """Batch-mode encode: plaintext part, sealed later per batch.
+
+        The returned size is the message's *standalone* wire size (what
+        it would cost unbatched) — the endpoint uses it as the baseline
+        for the frames-saved accounting, and the batch codec replaces it
+        with the true coalesced size at seal time.
+        """
+        if self._encrypted:
+            self.messages_sealed += 1
+            self._sealed_counter.inc()
+        wire = message.encode()
+        nbytes = wire_size(len(message.body), self._encrypted)
+        self._wire_hist.observe(nbytes)
+        return wire, nbytes
+
     def _decode(self, wire: bytes) -> TxMessage:
         if self._encrypted:
+            self.seal_ops += 1
+            self._seal_ops_counter.inc()
             return TxMessage.unseal(self._aead, wire)
         return TxMessage.decode(wire)
 
@@ -103,6 +239,26 @@ class SecureRpc:
         )
         return outcome
 
+    def broadcast(
+        self,
+        pairs: Sequence[Tuple[str, TxMessage]],
+        express: bool = False,
+    ) -> List[Event]:
+        """Enqueue one message per destination in the same instant.
+
+        This is the group-round fan-out primitive used by the 2PC
+        coordinator (PREPARE/COMMIT/COMPLETE) and the trusted-counter
+        echo rounds: because every destination is enqueued before the
+        caller yields, each destination's traffic lands in the same
+        doorbell window and coalesces with any concurrent rounds headed
+        the same way.  Returns one outcome event per destination, in
+        input order.
+        """
+        return [
+            self.enqueue(dst, message, express=express)
+            for dst, message in pairs
+        ]
+
     def call(
         self, dst: str, message: TxMessage
     ) -> Generator[Event, Any, TxMessage]:
@@ -119,12 +275,20 @@ class SecureRpc:
         )
         nbytes = 0
         try:
-            wire, nbytes = self._encode(message)
-            if self._encrypted:
-                yield from self.runtime.seal_cost(nbytes)
-            reply = yield self.endpoint.enqueue_request(
-                dst, message.msg_type, wire, nbytes
-            )
+            if self._batched:
+                # The batch codec seals the coalesced frame in one AEAD
+                # pass and charges its cost once, on both directions.
+                wire, nbytes = self._encode_part(message)
+                reply = yield self.endpoint.enqueue_request(
+                    dst, message.msg_type, wire, nbytes
+                )
+            else:
+                wire, nbytes = self._encode(message)
+                if self._encrypted:
+                    yield from self.runtime.seal_cost(nbytes)
+                reply = yield self.endpoint.enqueue_request(
+                    dst, message.msg_type, wire, nbytes
+                )
             # Under SCONE, the fiber that blocked on this RPC waits for
             # the userland scheduler to run it again; the delay grows
             # with the number of concurrently served requests (§VII-C).
@@ -132,9 +296,12 @@ class SecureRpc:
                 resume_delay = self.runtime.fiber_resume_delay()
                 if resume_delay > 0.0:
                     yield self.runtime.sim.timeout(resume_delay)
-            if self._encrypted:
-                yield from self.runtime.seal_cost(reply.nbytes)
-            decoded = self._decode(reply.payload)
+            if self._batched:
+                decoded = TxMessage.decode(reply.payload)
+            else:
+                if self._encrypted:
+                    yield from self.runtime.seal_cost(reply.nbytes)
+                decoded = self._decode(reply.payload)
         except Exception as exc:  # noqa: BLE001 - propagate to the waiter
             span.close(bytes=nbytes, error=type(exc).__name__)
             if not outcome.triggered:
@@ -149,18 +316,32 @@ class SecureRpc:
         """Install a verified-message handler for ``msg_type`` requests."""
 
         def wrapped(payload: bytes, src: str):
-            if self._encrypted:
-                yield from self.runtime.seal_cost(len(payload))
-            try:
-                message = self._decode(payload)
-            except Exception:
-                self.auth_failures += 1
-                self._auth_fail_counter.inc()
-                self.tracer.event(
-                    "net", "auth_failure", node=self.runtime.name or None,
-                    src=src,
-                )
-                raise
+            if self._batched:
+                # The batch codec already verified/decrypted the frame
+                # and charged its one AEAD cost; parts are plaintext.
+                try:
+                    message = TxMessage.decode(payload)
+                except Exception:
+                    self.auth_failures += 1
+                    self._auth_fail_counter.inc()
+                    self.tracer.event(
+                        "net", "auth_failure", node=self.runtime.name or None,
+                        src=src,
+                    )
+                    raise
+            else:
+                if self._encrypted:
+                    yield from self.runtime.seal_cost(len(payload))
+                try:
+                    message = self._decode(payload)
+                except Exception:
+                    self.auth_failures += 1
+                    self._auth_fail_counter.inc()
+                    self.tracer.event(
+                        "net", "auth_failure", node=self.runtime.name or None,
+                        src=src,
+                    )
+                    raise
             # At-most-once: ACK-type messages are exempt (§VII-A), every
             # state-changing request is checked.
             if message.msg_type not in (MsgType.ACK, MsgType.FAIL):
@@ -172,9 +353,12 @@ class SecureRpc:
                     # request id) is the only response the sender sees.
                     return None, 0
             reply = yield from handler(message, src)
-            wire, nbytes = self._encode(reply)
-            if self._encrypted:
-                yield from self.runtime.seal_cost(nbytes)
+            if self._batched:
+                wire, nbytes = self._encode_part(reply)
+            else:
+                wire, nbytes = self._encode(reply)
+                if self._encrypted:
+                    yield from self.runtime.seal_cost(nbytes)
             return wire, nbytes
 
         self.endpoint.register_handler(msg_type, wrapped)

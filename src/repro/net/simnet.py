@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..errors import NetworkError
 from ..obs.registry import MetricsRegistry
@@ -79,6 +79,7 @@ class Nic:
             self.fabric.dropped_frames += 1
             return
         self.tx_bytes += frame.wire_bytes
+        self.fabric.tx_bytes_total += frame.wire_bytes
         self.fabric.route(frame, self.propagation)
 
     def receive(self) -> Event:
@@ -100,13 +101,16 @@ class Fabric:
         self.adversary: Optional[Any] = None  # NetworkAdversary, if installed
         self.delivered_frames = 0
         self.dropped_frames = 0
+        #: cumulative bytes transmitted by every NIC ever attached; unlike
+        #: summing per-NIC counters, a detached (crashed) NIC's history
+        #: stays in the metric.
+        self.tx_bytes_total = 0
+        self._detach_listeners: List[Callable[[str], None]] = []
         self.metrics = MetricsRegistry("fabric")
         self.metrics.probe("net.delivered_frames",
                            lambda: self.delivered_frames)
         self.metrics.probe("net.dropped_frames", lambda: self.dropped_frames)
-        self.metrics.probe("net.tx_bytes",
-                           lambda: sum(n.tx_bytes
-                                       for n in self._nics.values()))
+        self.metrics.probe("net.tx_bytes", lambda: self.tx_bytes_total)
 
     def attach(
         self, address: str, bandwidth: float, propagation: float
@@ -118,9 +122,19 @@ class Fabric:
         self._nics[address] = nic
         return nic
 
+    def on_detach(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(address)`` whenever a NIC is detached.
+
+        Endpoints use this to fail-fast continuations of requests whose
+        destination crashed, instead of leaking them forever.
+        """
+        self._detach_listeners.append(listener)
+
     def detach(self, address: str) -> None:
         """Remove a NIC (node crash); in-flight frames to it are dropped."""
-        self._nics.pop(address, None)
+        if self._nics.pop(address, None) is not None:
+            for listener in list(self._detach_listeners):
+                listener(address)
 
     def nic(self, address: str) -> Nic:
         try:

@@ -31,6 +31,7 @@ __all__ = [
     "Interrupt",
     "AnyOf",
     "AllOf",
+    "AllSettled",
     "Simulator",
     "SimulationError",
 ]
@@ -287,6 +288,29 @@ class AllOf(_ConditionEvent):
             self.succeed(self._values())
 
 
+class AllSettled(_ConditionEvent):
+    """Triggers once every inner event has triggered, ok or failed.
+
+    Unlike :class:`AllOf`, a failed inner event does not fail the
+    composite: it is defused and simply recorded.  The composite's value
+    is the inner event list itself — callers inspect ``event.triggered``
+    / ``event.ok`` / ``event.value`` per entry.  This is the natural
+    shape for fan-out RPC rounds where a crashed destination should look
+    like a missing vote, not a coordinator crash.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if not event.ok:
+            event.defuse()
+        if self._triggered:
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self.events)
+
+
 class Simulator:
     """Owns the virtual clock and runs events in timestamp order.
 
@@ -326,6 +350,14 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires once every one of ``events`` has fired."""
         return AllOf(self, events)
+
+    def all_settled(self, events: Iterable[Event]) -> AllSettled:
+        """Event that fires once every one of ``events`` has settled.
+
+        Failed inner events are defused rather than propagated; the
+        value is the event list for per-event inspection.
+        """
+        return AllSettled(self, events)
 
     # -- scheduling internals --------------------------------------------
     def _schedule_at(self, when: float, event: Event, ok: bool, value: Any) -> None:

@@ -20,7 +20,13 @@ from ..sim.core import Event
 from ..sim.rng import SeededRng
 from .zipf import ScrambledZipfianGenerator, UniformGenerator
 
-__all__ = ["YcsbConfig", "YcsbWorkload", "run_ycsb", "bulk_load"]
+__all__ = [
+    "YcsbConfig",
+    "YcsbWorkload",
+    "run_ycsb",
+    "bulk_load",
+    "shard_key_indices",
+]
 
 Gen = Generator[Event, Any, Any]
 
@@ -36,6 +42,11 @@ class YcsbConfig:
     distribution: str = "uniform"  # or "zipfian"
     key_prefix: bytes = b"usertable/"
     optimistic: bool = False
+    #: fraction of transactions whose keys all live on the client's
+    #: coordinator shard (0.0 disables).  A partitioned deployment
+    #: (ROADMAP: partitioned workloads) keeps ~90 % of transactions
+    #: single-shard; the rest fan out through 2PC as usual.
+    locality: float = 0.0
 
     def key(self, index: int) -> bytes:
         return self.key_prefix + b"user%08d" % index
@@ -46,10 +57,32 @@ class YcsbConfig:
         return (seed * reps)[: self.value_size]
 
 
-class YcsbWorkload:
-    """Generates per-transaction operation lists."""
+def shard_key_indices(
+    config: YcsbConfig, partitioner, num_shards: int
+) -> List[List[int]]:
+    """Key indices per shard under ``partitioner`` (for locality mode)."""
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    for index in range(config.num_keys):
+        shards[partitioner(config.key(index))].append(index)
+    return shards
 
-    def __init__(self, config: YcsbConfig, rng: SeededRng):
+
+class YcsbWorkload:
+    """Generates per-transaction operation lists.
+
+    With ``config.locality > 0`` and ``shard_keys``/``home_shard`` set,
+    that fraction of transactions draws every key uniformly from the
+    home shard's slice of the keyspace (single-shard commit path); the
+    remainder uses the global key generator and crosses shards.
+    """
+
+    def __init__(
+        self,
+        config: YcsbConfig,
+        rng: SeededRng,
+        shard_keys: Optional[List[List[int]]] = None,
+        home_shard: Optional[int] = None,
+    ):
         self.config = config
         self.rng = rng
         if config.distribution == "uniform":
@@ -60,13 +93,27 @@ class YcsbWorkload:
             )
         else:
             raise ValueError("unknown distribution %r" % config.distribution)
+        self._home_keys: Optional[List[int]] = None
+        if config.locality > 0.0 and shard_keys is not None:
+            if home_shard is None:
+                raise ValueError("locality mode needs a home shard")
+            home = shard_keys[home_shard]
+            self._home_keys = home if home else None
         self._op_counter = 0
 
     def next_transaction(self) -> List[Tuple[str, bytes, Optional[bytes]]]:
         """A list of ('read'|'update', key, value_or_None) operations."""
+        local = (
+            self._home_keys is not None
+            and self.rng.random() < self.config.locality
+        )
         ops = []
         for _ in range(self.config.ops_per_txn):
-            index = self._keygen.next()
+            if local:
+                home = self._home_keys
+                index = home[int(self.rng.random() * len(home)) % len(home)]
+            else:
+                index = self._keygen.next()
             key = self.config.key(index)
             if self.rng.random() < self.config.read_proportion:
                 ops.append(("read", key, None))
@@ -149,12 +196,20 @@ def run_ycsb(
     start_time = sim.now
     end_time = start_time + warmup + duration
     metrics.measure_from(start_time + warmup)
+    shard_keys = (
+        shard_key_indices(config, cluster.partitioner, cluster.num_nodes)
+        if config.locality > 0.0
+        else None
+    )
 
     def client_loop(client_index: int):
         machine = machines[client_index % len(machines)]
-        session = cluster.session(machine, coordinator=client_index % cluster.num_nodes)
+        coordinator = client_index % cluster.num_nodes
+        session = cluster.session(machine, coordinator=coordinator)
         rng = SeededRng(cluster.config.seed, "ycsb-client", str(client_index))
-        workload = YcsbWorkload(config, rng)
+        workload = YcsbWorkload(
+            config, rng, shard_keys=shard_keys, home_shard=coordinator
+        )
         burst_rng = rng.child("arrivals")
         burst_left = 1 + int(burst_rng.random() * 2 * _BURST_MEAN_TXNS)
         while sim.now < end_time:
