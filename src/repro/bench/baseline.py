@@ -1,0 +1,185 @@
+"""Performance baseline: record headline numbers, gate regressions.
+
+``repro bench baseline`` runs one deterministic distributed YCSB
+workload on the full Treaty profile *with tracing enabled*, derives the
+headline metrics —
+
+* throughput (committed txns / measured second),
+* p99 commit latency,
+* delivered network frames per committed transaction,
+* AEAD seal operations per committed transaction,
+* trusted-counter rounds per committed transaction,
+* the critical-path per-category p50/p99 breakdown
+  (:mod:`repro.obs.critpath`),
+
+— and writes them to ``BENCH_treaty.json``.  ``--check`` compares a
+fresh run against the checked-in file with direction-aware tolerances
+(throughput may not drop, cost counters may not grow, beyond
+``tolerance``) and fails CI on a regression.  The run is seeded and the
+simulator is deterministic, so a freshly written baseline always passes
+its own check exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..config import ClusterConfig, TREATY_FULL
+from ..core.cluster import TreatyCluster
+from ..obs.critpath import CATEGORIES, aggregate_critical_paths, percentile
+from ..workloads.ycsb import YcsbConfig, bulk_load, run_ycsb
+from .harness import _attach_phase_breakdown, bench_scale, transport_stats
+from .metrics import MetricsCollector
+
+__all__ = [
+    "BASELINE_PATH",
+    "GATED_METRICS",
+    "run_baseline",
+    "check_baseline",
+    "write_baseline",
+    "load_baseline",
+]
+
+#: default location of the checked-in baseline (repo root).
+BASELINE_PATH = "BENCH_treaty.json"
+
+#: headline metrics the ``--check`` gate compares, with direction:
+#: ``"min"`` — regression is the value *dropping* below (1 - tol) x ref;
+#: ``"max"`` — regression is the value *growing* above (1 + tol) x ref.
+GATED_METRICS = (
+    ("throughput_tps", "min"),
+    ("p99_commit_latency_ms", "max"),
+    ("frames_per_txn", "max"),
+    ("seal_ops_per_txn", "max"),
+    ("counter_rounds_per_txn", "max"),
+)
+
+#: default regression tolerance.  Same-seed runs reproduce exactly; the
+#: slack absorbs intentional cross-PR behaviour drift without letting a
+#: real regression (a dropped batch path, an extra counter round per
+#: txn) through.
+DEFAULT_TOLERANCE = 0.25
+
+
+def run_baseline(
+    num_clients: Optional[int] = None,
+    duration: Optional[float] = None,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """One traced YCSB run on TREATY_FULL; returns the baseline document."""
+    num_clients = num_clients or 24
+    duration = duration or (0.2 if bench_scale() == "quick" else 0.6)
+    config = ClusterConfig(tracing=True, seed=seed)
+    cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+    ycsb = YcsbConfig(read_proportion=0.5, num_keys=2_000)
+    cluster.run(bulk_load(cluster, ycsb), name="load")
+    metrics = MetricsCollector("baseline")
+    run_ycsb(
+        cluster,
+        ycsb,
+        metrics,
+        num_clients=num_clients,
+        duration=duration,
+        warmup=duration * 0.25,
+    )
+    _attach_phase_breakdown(metrics, cluster)
+
+    summary = metrics.summary()
+    committed = max(1, metrics.committed)
+    transport = transport_stats(cluster)
+    durability = metrics.extra_info["obs"]["durability"]
+    records = cluster.obs.records()
+    aggregate = aggregate_critical_paths(records)
+
+    critical_path: Dict[str, Any] = {
+        "txns": aggregate["count"],
+        "total_ms": {
+            "p50": round(percentile(aggregate["totals"], 50) * 1e3, 6),
+            "p99": round(percentile(aggregate["totals"], 99) * 1e3, 6),
+        },
+        "categories": {},
+    }
+    grand_total = sum(aggregate["totals"]) or 1.0
+    for category in CATEGORIES:
+        samples = aggregate["categories"][category]
+        critical_path["categories"][category] = {
+            "p50_ms": round(percentile(samples, 50) * 1e3, 6),
+            "p99_ms": round(percentile(samples, 99) * 1e3, 6),
+            "share": round(sum(samples) / grand_total, 6),
+        }
+
+    return {
+        "meta": {
+            "profile": TREATY_FULL.name,
+            "workload": "ycsb-50/50-distributed",
+            "seed": seed,
+            "clients": num_clients,
+            "duration_s": duration,
+            "scale": bench_scale(),
+        },
+        "metrics": {
+            "throughput_tps": round(summary["throughput_tps"], 3),
+            "p99_commit_latency_ms": round(summary["p99_ms"], 6),
+            "mean_commit_latency_ms": round(summary["mean_latency_ms"], 6),
+            "committed": metrics.committed,
+            "aborted": metrics.aborted,
+            "frames_per_txn": round(
+                transport["delivered_frames"] / committed, 6
+            ),
+            "seal_ops_per_txn": round(transport["seal_ops"] / committed, 6),
+            "counter_rounds_per_txn": round(
+                durability.get("rounds_per_committed_txn", 0.0), 6
+            ),
+        },
+        "critical_path": critical_path,
+        "_aggregate": aggregate,  # stripped before serialization
+    }
+
+
+def write_baseline(document: Dict[str, Any], path: str = BASELINE_PATH) -> None:
+    serializable = {
+        key: value for key, value in document.items()
+        if not key.startswith("_")
+    }
+    with open(path, "w") as fp:
+        json.dump(serializable, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def load_baseline(path: str = BASELINE_PATH) -> Dict[str, Any]:
+    with open(path) as fp:
+        return json.load(fp)
+
+
+def check_baseline(
+    current: Dict[str, Any],
+    reference: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Direction-aware regression check; returns failure descriptions."""
+    failures: List[str] = []
+    current_metrics = current["metrics"]
+    reference_metrics = reference["metrics"]
+    for name, direction in GATED_METRICS:
+        if name not in reference_metrics:
+            continue  # older baseline file: nothing to gate against
+        ref = float(reference_metrics[name])
+        cur = float(current_metrics[name])
+        if direction == "min":
+            floor = ref * (1.0 - tolerance)
+            if cur < floor:
+                failures.append(
+                    "%s regressed: %.3f < %.3f (baseline %.3f - %.0f%%)"
+                    % (name, cur, floor, ref, tolerance * 100)
+                )
+        else:
+            ceiling = ref * (1.0 + tolerance)
+            # An absolute epsilon keeps near-zero baselines (e.g. a
+            # profile without stabilization) from gating on noise.
+            if cur > ceiling and cur - ref > 1e-9:
+                failures.append(
+                    "%s regressed: %.3f > %.3f (baseline %.3f + %.0f%%)"
+                    % (name, cur, ceiling, ref, tolerance * 100)
+                )
+    return failures

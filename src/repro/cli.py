@@ -6,12 +6,15 @@ Commands:
 * ``demo``   — run a few secure distributed transactions and print stats.
 * ``ycsb``   — run a YCSB experiment (profile/read-mix/clients options).
 * ``tpcc``   — run a TPC-C experiment.
-* ``trace``  — run a workload with tracing on and write a Chrome trace.
+* ``trace``  — run a workload with tracing on and write a Chrome trace;
+  ``trace critical-path [txn]`` instead prints a transaction's
+  critical-path latency breakdown (see docs/OBSERVABILITY.md).
 * ``bench``  — durability-pipeline benchmarks: ``smoke`` (monitored
   full-pipeline run, the CI gate; ``--net-batch`` compares transport
   batching off vs on), ``sweep-window`` (group-commit window
-  latency/throughput frontier) and ``scale-out`` (cluster-size sweep
-  under transport batching; see docs/NETWORK.md).
+  latency/throughput frontier), ``scale-out`` (cluster-size sweep
+  under transport batching; see docs/NETWORK.md) and ``baseline``
+  (write/check the BENCH_treaty.json performance baseline).
 * ``attacks``— run the attack-detection demonstration.
 """
 
@@ -48,7 +51,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     for field in dataclasses.fields(costs):
         print("  %-32s %s" % (field.name, getattr(costs, field.name)))
     print("\nObservability (repro.obs; see docs/OBSERVABILITY.md):")
-    print("  trace categories   twopc stabilize storage net tee node counter")
+    print("  trace categories   twopc stabilize storage net rpc crypto"
+          " locks tee node counter")
     print("  enclave metrics    tee.transitions tee.page_faults")
     print("                     (per node, in `repro demo` and bench reports)")
     print("  phase histograms   twopc.prepare_s twopc.decision_s"
@@ -139,6 +143,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from .core import TreatyCluster
     from .obs import write_chrome_trace, write_jsonl
 
+    if args.mode == "critical-path" and args.from_jsonl:
+        import json
+
+        with open(args.from_jsonl) as fp:
+            records = [json.loads(line) for line in fp if line.strip()]
+        return _trace_critical_path(records, args.txn)
+
     profile = PROFILES[args.profile]
     config = ClusterConfig(tracing=True, seed=args.seed)
     if args.workload == "tpcc":
@@ -183,6 +194,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         cluster.run(body())
 
     records = cluster.obs.records()
+    if args.mode == "critical-path":
+        return _trace_critical_path(records, args.txn)
     write_chrome_trace(records, args.out)
     if args.jsonl:
         write_jsonl(records, args.jsonl)
@@ -199,6 +212,49 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print("jsonl        :", args.jsonl)
     print()
     print(cluster.obs.summary(title="registry snapshot"))
+    return 0
+
+
+def _trace_critical_path(records, txn: Optional[str]) -> int:
+    """Print one txn's critical path, or the aggregate phase table."""
+    from .obs import (
+        aggregate_critical_paths,
+        critical_path,
+        format_breakdown,
+        format_phase_table,
+        transaction_traces,
+    )
+
+    traces = transaction_traces(records)
+    if not traces:
+        print("no distributed transactions in the trace", file=sys.stderr)
+        return 1
+    if txn is None:
+        committed = transaction_traces(records, outcome="commit")
+        print("distributed transactions : %d (%d committed)"
+              % (len(traces), len(committed)))
+        print()
+        print(format_phase_table(aggregate_critical_paths(records)))
+        print()
+        print("per-transaction breakdown: repro trace critical-path <txn>")
+        preview = ", ".join(traces[:4])
+        print("transaction ids (prefix ok, or 'last'): %s%s"
+              % (preview, ", ..." if len(traces) > 4 else ""))
+        return 0
+    if txn == "last":
+        matches = traces[-1:]
+    else:
+        matches = [t for t in traces if t == txn or t.startswith(txn)]
+    if not matches:
+        print("no distributed transaction matches %r" % txn, file=sys.stderr)
+        print("known ids: %s" % ", ".join(traces), file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        print("ambiguous id %r: %s" % (txn, ", ".join(matches)),
+              file=sys.stderr)
+        return 1
+    path = critical_path(records, matches[0])
+    print(format_breakdown(path))
     return 0
 
 
@@ -227,7 +283,60 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _bench_smoke(args)
     if args.mode == "scale-out":
         return _bench_scaleout(args)
+    if args.mode == "baseline":
+        return _bench_baseline(args)
     return _bench_sweep_window(args)
+
+
+def _bench_baseline(args: argparse.Namespace) -> int:
+    """Write or check the BENCH_treaty.json performance baseline."""
+    from .bench.baseline import (
+        BASELINE_PATH,
+        check_baseline,
+        load_baseline,
+        run_baseline,
+        write_baseline,
+    )
+    from .obs import format_phase_table
+
+    document = run_baseline(
+        num_clients=args.clients, duration=args.duration
+    )
+    headline = document["metrics"]
+    print("profile      :", document["meta"]["profile"])
+    print("throughput   : %.0f tps" % headline["throughput_tps"])
+    print("p99 latency  : %.3f ms" % headline["p99_commit_latency_ms"])
+    print("committed    : %d   aborted: %d"
+          % (headline["committed"], headline["aborted"]))
+    print("frames/txn   : %.2f   seals/txn: %.2f   counter rounds/txn: %.3f"
+          % (headline["frames_per_txn"], headline["seal_ops_per_txn"],
+             headline["counter_rounds_per_txn"]))
+    print()
+    print(format_phase_table(document["_aggregate"]))
+    if args.check:
+        reference_path = args.baseline_file or BASELINE_PATH
+        try:
+            reference = load_baseline(reference_path)
+        except OSError as exc:
+            print("cannot read baseline %s: %s" % (reference_path, exc),
+                  file=sys.stderr)
+            return 1
+        failures = check_baseline(
+            document, reference, tolerance=args.tolerance
+        )
+        if args.out:
+            write_baseline(document, args.out)
+            print("\ncurrent numbers written to %s" % args.out)
+        if failures:
+            for failure in failures:
+                print("BASELINE REGRESSION: %s" % failure, file=sys.stderr)
+            return 1
+        print("\nbaseline check PASSED against %s" % reference_path)
+        return 0
+    out = args.out or BASELINE_PATH
+    write_baseline(document, out)
+    print("\nbaseline written to %s" % out)
+    return 0
 
 
 def _bench_smoke(args: argparse.Namespace) -> int:
@@ -475,6 +584,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_profile_argument(trace)
     trace.add_argument(
+        "mode", nargs="?", default="record",
+        choices=["record", "critical-path"],
+        help="record: write trace files (default); critical-path: print "
+             "a transaction's critical-path latency breakdown",
+    )
+    trace.add_argument(
+        "txn", nargs="?", default=None,
+        help="critical-path mode: transaction id (hex trace id, a unique "
+             "prefix, or 'last'); omit for the aggregate p50/p99 table",
+    )
+    trace.add_argument(
+        "--from-jsonl", default=None,
+        help="critical-path mode: analyze a previously recorded --jsonl "
+             "file instead of running a workload",
+    )
+    trace.add_argument(
         "--workload", default="ycsb", choices=["ycsb", "tpcc", "demo"]
     )
     trace.add_argument("--out", default="trace.json",
@@ -492,10 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="durability-pipeline benchmarks (smoke, sweep-window, scale-out)",
     )
     bench.add_argument(
-        "mode", choices=["smoke", "sweep-window", "scale-out"],
+        "mode", choices=["smoke", "sweep-window", "scale-out", "baseline"],
         help="smoke: monitored full-pipeline run (CI gate); "
              "sweep-window: group-commit window frontier; "
-             "scale-out: cluster-size sweep under transport batching",
+             "scale-out: cluster-size sweep under transport batching; "
+             "baseline: write/check the BENCH_treaty.json baseline",
     )
     bench.add_argument("--clients", type=int, default=None,
                        help="concurrent YCSB clients")
@@ -530,6 +656,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--locality", type=float, default=None,
         help="fraction of transactions kept single-shard (partitioned "
              "workload; defaults: 0.0 for --net-batch, 0.9 for scale-out)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="baseline mode: compare against the checked-in "
+             "BENCH_treaty.json and fail on a regression (CI gate)",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="baseline mode: where to write the baseline JSON "
+             "(default BENCH_treaty.json; with --check, only written "
+             "when given explicitly)",
+    )
+    bench.add_argument(
+        "--baseline-file", default=None,
+        help="baseline mode with --check: reference file to compare "
+             "against (default BENCH_treaty.json)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="baseline mode with --check: allowed relative drift per "
+             "gated metric",
     )
     bench.set_defaults(func=cmd_bench)
 

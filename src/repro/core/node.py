@@ -310,6 +310,20 @@ class TreatyNode:
         credentials = yield from self._attest(cas)
         self._build(credentials)
 
+        # Root span of the recovery's span DAG: the synthetic trace id
+        # (high bit set — can never collide with a transaction's id)
+        # groups log replay, fencing, and every resolution/redrive fiber
+        # spawned below, across every node they touch.
+        recovery_trace = GlobalTxnId(
+            (1 << 63) | self.numeric_id, self.boot_count
+        ).encode().hex()
+        recovery_span = None
+        if self.sim.tracer is not None and self.sim.tracer.enabled:
+            recovery_span = self.sim.tracer.span(
+                "node", "recover", node=self.name, trace=recovery_trace,
+                parent=0, epoch=self.boot_count,
+            )
+
         resolver = None
         if self.profile.stabilization:
             # Import here: repro.core.recovery imports the cluster module
@@ -405,6 +419,10 @@ class TreatyNode:
                 "node", "recover_done", node=self.name,
                 prepared=sorted(txn_id.hex() for txn_id in prepared_ids),
                 redriven=len(incomplete_commits),
+            )
+        if recovery_span is not None:
+            recovery_span.close(
+                prepared=len(prepared_ids), redriven=len(incomplete_commits)
             )
         return state
 

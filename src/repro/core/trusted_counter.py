@@ -281,6 +281,11 @@ class CounterClient:
         self._round_active: Dict[str, bool] = {}
         #: unified driver flag (vectored mode only).
         self._driver_active = False
+        #: trace context of the first registrant since the last round —
+        #: the round span attaches there, so a transaction's counter
+        #: round joins its cross-node DAG (shared rounds are attributed
+        #: to the registrant that triggered them).
+        self._round_ctx: Optional[Tuple[Optional[str], int]] = None
         self._op_seq = 0
         self.rounds_executed = 0
         runtime.metrics.probe(
@@ -309,6 +314,10 @@ class CounterClient:
         self._pending_target[log_name] = max(
             self._pending_target.get(log_name, 0), value
         )
+        if self.tracer.enabled and self._round_ctx is None:
+            context = self.tracer.current_context()
+            if context[0] is not None or context[1]:
+                self._round_ctx = context
         if self.vectoring:
             if not self._driver_active:
                 self._driver_active = True
@@ -453,23 +462,43 @@ class CounterClient:
         """One echo-broadcast execution stabilizing a target vector."""
         self.rounds_executed += 1
         self._batch_hist.observe(len(targets))
-        # Round 1: update + echoes.
-        self.replica.local_echo(targets)
-        acks = yield from self._broadcast(MsgType.COUNTER_UPDATE, targets)
-        if acks < self.quorum:
-            raise FreshnessError(
-                "counter group unavailable: %d/%d echoes for %d targets"
-                % (acks, self.quorum, len(targets))
+        # Attach the round to the context captured at registration time
+        # (falling back to the driver fiber's inherited context), so the
+        # UPDATE/CONFIRM fan-out below — and the replicas' handler spans
+        # on the other side of the wire — join that transaction's DAG.
+        context, self._round_ctx = self._round_ctx, None
+        if context is not None:
+            span = self.tracer.span(
+                "counter", "round", node=self.replica.node_name,
+                trace=context[0], parent=context[1], targets=len(targets),
             )
-        # Round 2: confirmation.
-        acks = yield from self._broadcast(MsgType.COUNTER_CONFIRM, targets)
-        if acks < self.quorum:
-            raise FreshnessError(
-                "counter group unavailable: %d/%d confirms for %d targets"
-                % (acks, self.quorum, len(targets))
+        else:
+            span = self.tracer.span(
+                "counter", "round", node=self.replica.node_name,
+                targets=len(targets),
             )
-        # Seal own state with the stabilized values (end of the protocol).
-        yield from self.replica.local_confirm(targets)
+        try:
+            # Round 1: update + echoes.
+            self.replica.local_echo(targets)
+            acks = yield from self._broadcast(MsgType.COUNTER_UPDATE, targets)
+            if acks < self.quorum:
+                raise FreshnessError(
+                    "counter group unavailable: %d/%d echoes for %d targets"
+                    % (acks, self.quorum, len(targets))
+                )
+            # Round 2: confirmation.
+            acks = yield from self._broadcast(MsgType.COUNTER_CONFIRM, targets)
+            if acks < self.quorum:
+                raise FreshnessError(
+                    "counter group unavailable: %d/%d confirms for %d targets"
+                    % (acks, self.quorum, len(targets))
+                )
+            # Seal own state with the stabilized values (end of protocol).
+            yield from self.replica.local_confirm(targets)
+        except FreshnessError:
+            span.close(error="freshness")
+            raise
+        span.close()
 
     # -- recovery reads -------------------------------------------------------------
     def read_stable_many(self, log_names: Sequence[str]) -> Gen:

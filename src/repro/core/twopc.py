@@ -669,6 +669,26 @@ class GlobalTxn:
         return 0
 
     def _commit_distributed(self) -> Gen:
+        # Root of the transaction's cross-node span DAG: the trace id is
+        # the global transaction id, and every span the commit touches —
+        # locally, on participants (via the sealed RPC trace context) and
+        # in the counter service — chains under this one.  Its duration
+        # is the distributed commit latency the critical-path analyzer
+        # decomposes.
+        txn_hex = self.gid.encode().hex()
+        root = self.coordinator.tracer.span(
+            "twopc", "txn", node=self.coordinator.node, txn=txn_hex,
+            trace=txn_hex, participants=len(self.remote_participants),
+        )
+        try:
+            yield from self._commit_distributed_body()
+        finally:
+            root.close(
+                outcome="commit"
+                if self.status == TxnStatus.COMMITTED else "abort"
+            )
+
+    def _commit_distributed_body(self) -> Gen:
         coordinator = self.coordinator
         tracer = coordinator.tracer
         metrics = self.runtime.metrics

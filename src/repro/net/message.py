@@ -12,8 +12,8 @@ enforce at-most-once execution against duplicated/replayed packets.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..crypto.aead import IV_BYTES, MAC_BYTES, Aead
 from ..errors import IntegrityError, ReplayError
@@ -27,6 +27,7 @@ __all__ = [
     "wire_size",
     "pack_parts",
     "unpack_parts",
+    "peek_trace",
     "seal_batch",
     "unseal_batch",
     "batch_wire_size",
@@ -37,9 +38,17 @@ METADATA_BYTES = 80  # §VII-A: 80 B Tx metadata
 
 _AAD = b"treaty-msg-v1"
 # node id (8) + txn id (8) + op id (8) + msg type (4) + body length (4)
-# + reserved padding up to 80 bytes.
+# + trace context + reserved padding up to 80 bytes.
 _META_STRUCT = struct.Struct("<QQQiI")
-_META_RESERVED = METADATA_BYTES - _META_STRUCT.size
+# Trace context (rides the formerly reserved metadata bytes, so the wire
+# size is unchanged): 16 B trace id (the transaction's GlobalTxnId
+# encoding; all-zero = no context) + parent span id (8 B) + origin node
+# id (8 B).  Sealed with the rest of the metadata, so the causal chain a
+# receiver adopts is covered by the frame's MAC.
+_TRACE_STRUCT = struct.Struct("<16sQQ")
+_TRACE_OFFSET = _META_STRUCT.size
+_NO_TRACE = b"\x00" * 16
+_META_RESERVED = METADATA_BYTES - _META_STRUCT.size - _TRACE_STRUCT.size
 
 
 class MsgType:
@@ -97,6 +106,11 @@ class TxMessage:
     txn_id: int  # coordinator-local monotonic transaction id (8 B)
     op_id: int  # unique per request within the transaction (8 B)
     body: bytes = b""
+    #: trace context (32 B of the metadata's reserved region; excluded
+    #: from equality so replay/identity semantics are unchanged).
+    trace: Optional[str] = field(default=None, compare=False)
+    trace_parent: int = field(default=0, compare=False)
+    trace_origin: int = field(default=0, compare=False)
 
     # -- identity --------------------------------------------------------
     @property
@@ -110,7 +124,13 @@ class TxMessage:
         meta = _META_STRUCT.pack(
             self.node_id, self.txn_id, self.op_id, self.msg_type, len(self.body)
         )
-        return meta + b"\x00" * _META_RESERVED + self.body
+        raw_trace = bytes.fromhex(self.trace) if self.trace else _NO_TRACE
+        if len(raw_trace) != 16:
+            raise IntegrityError("trace id must encode to 16 bytes")
+        trace_blob = _TRACE_STRUCT.pack(
+            raw_trace, self.trace_parent, self.trace_origin
+        )
+        return meta + trace_blob + b"\x00" * _META_RESERVED + self.body
 
     @classmethod
     def decode(cls, plaintext: bytes) -> "TxMessage":
@@ -119,10 +139,16 @@ class TxMessage:
         node_id, txn_id, op_id, msg_type, body_len = _META_STRUCT.unpack_from(
             plaintext
         )
+        raw_trace, trace_parent, trace_origin = _TRACE_STRUCT.unpack_from(
+            plaintext, _TRACE_OFFSET
+        )
         body = plaintext[METADATA_BYTES:]
         if len(body) != body_len:
             raise IntegrityError("message body length mismatch")
-        return cls(msg_type, node_id, txn_id, op_id, body)
+        trace = raw_trace.hex() if raw_trace != _NO_TRACE else None
+        return cls(msg_type, node_id, txn_id, op_id, body,
+                   trace=trace, trace_parent=trace_parent,
+                   trace_origin=trace_origin)
 
     # -- sealing -----------------------------------------------------------
     def seal(self, aead: Aead, iv: bytes) -> bytes:
@@ -193,6 +219,19 @@ def unpack_parts(blob: bytes) -> List[bytes]:
         parts.append(blob[offset : offset + length])
         offset += length
     return parts
+
+
+def peek_trace(encoded: bytes) -> Optional[str]:
+    """Read the trace id out of an encoded (plaintext) message, if any.
+
+    Used by the batch codec to label a whole frame's AEAD span with the
+    trace of its first context-carrying sub-message without paying a
+    full decode.
+    """
+    if len(encoded) < _TRACE_OFFSET + _TRACE_STRUCT.size:
+        return None
+    raw = encoded[_TRACE_OFFSET : _TRACE_OFFSET + 16]
+    return raw.hex() if raw != _NO_TRACE else None
 
 
 def seal_batch(

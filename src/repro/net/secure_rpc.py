@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import itertools
 import struct
+from dataclasses import replace
 from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
 from ..crypto.keys import KeyRing
@@ -40,6 +41,7 @@ from .message import (
     TxMessage,
     batch_wire_size,
     pack_parts,
+    peek_trace,
     seal_batch,
     unpack_parts,
     unseal_batch,
@@ -59,6 +61,15 @@ _AAD_BATCH = b"treaty-batch-v1"
 #: transaction ids are non-negative, so batch entries can never collide
 #: with per-message ``(node, txn, op)`` triples.
 _BATCH_TXN_SENTINEL = -1
+
+
+def _parts_trace(parts: Sequence[bytes]) -> Optional[str]:
+    """Trace id of the first context-carrying part of a batch (or None)."""
+    for part in parts:
+        trace = peek_trace(part)
+        if trace is not None:
+            return trace
+    return None
 
 
 class _SecureBatchCodec:
@@ -84,10 +95,19 @@ class _SecureBatchCodec:
         aad = _AAD_BATCH + struct.pack(
             "<QQ", rpc.node_numeric_id & 0xFFFFFFFFFFFFFFFF, batch_id
         )
+        # Attribute the frame's single AEAD pass to the first sub-message
+        # carrying a trace context (batch-shared cost; parent is resolved
+        # by interval containment in the critical-path analyzer).
+        span = rpc.tracer.span(
+            "crypto", "seal_batch", node=rpc.runtime.name or None,
+            parent=0, trace=_parts_trace(parts),
+            seal_ops=1, parts=len(parts),
+        )
         blob = seal_batch(rpc._aead, rpc._next_iv(), parts, aad)
         rpc.seal_ops += 1
         rpc._seal_ops_counter.inc()
         yield from rpc.runtime.seal_cost(len(blob))
+        span.close(bytes=len(blob))
         return blob, len(blob), {
             "batch_src": rpc.node_numeric_id,
             "batch_id": batch_id,
@@ -99,6 +119,10 @@ class _SecureBatchCodec:
         if not rpc._encrypted:
             return unpack_parts(payload)
             yield  # pragma: no cover - keeps this a generator
+        span = rpc.tracer.span(
+            "crypto", "open_batch", node=rpc.runtime.name or None,
+            parent=0, trace=None, seal_ops=1, bytes=len(payload),
+        )
         yield from rpc.runtime.seal_cost(len(payload))
         aad = _AAD_BATCH + struct.pack(
             "<QQ", meta.get("batch_src", 0) & 0xFFFFFFFFFFFFFFFF,
@@ -107,12 +131,17 @@ class _SecureBatchCodec:
         try:
             parts = unseal_batch(rpc._aead, payload, aad)
         except Exception:
+            span.close(error="auth_failure")
             rpc.auth_failures += 1
             rpc._auth_fail_counter.inc()
             rpc.tracer.event(
                 "net", "auth_failure", node=rpc.runtime.name or None, src=src,
             )
             raise
+        # Only after decryption do we know which trace pays for the pass.
+        if rpc.tracer.enabled:
+            span.trace = _parts_trace(parts)
+        span.close(parts=len(parts))
         rpc.seal_ops += 1
         rpc._seal_ops_counter.inc()
         # Batch-level at-most-once: the (sender, batch sequence) pair is
@@ -273,6 +302,14 @@ class SecureRpc:
             "net", "rpc", node=self.runtime.name or None,
             dst=dst, msg_type=message.msg_type,
         )
+        # Stamp this fiber's trace context into the sealed metadata: the
+        # receiving fiber adopts it, chaining its handler span under this
+        # rpc span — the cross-node edge of the transaction's DAG.
+        if self.tracer.enabled and span.trace is not None:
+            message = replace(
+                message, trace=span.trace, trace_parent=span.sid,
+                trace_origin=self.node_numeric_id,
+            )
         nbytes = 0
         try:
             if self._batched:
@@ -285,7 +322,12 @@ class SecureRpc:
             else:
                 wire, nbytes = self._encode(message)
                 if self._encrypted:
+                    cspan = self.tracer.span(
+                        "crypto", "seal", node=self.runtime.name or None,
+                        seal_ops=1, bytes=nbytes,
+                    )
                     yield from self.runtime.seal_cost(nbytes)
+                    cspan.close()
                 reply = yield self.endpoint.enqueue_request(
                     dst, message.msg_type, wire, nbytes
                 )
@@ -300,7 +342,12 @@ class SecureRpc:
                 decoded = TxMessage.decode(reply.payload)
             else:
                 if self._encrypted:
+                    cspan = self.tracer.span(
+                        "crypto", "open", node=self.runtime.name or None,
+                        seal_ops=1, bytes=reply.nbytes,
+                    )
                     yield from self.runtime.seal_cost(reply.nbytes)
+                    cspan.close()
                 decoded = self._decode(reply.payload)
         except Exception as exc:  # noqa: BLE001 - propagate to the waiter
             span.close(bytes=nbytes, error=type(exc).__name__)
@@ -350,15 +397,38 @@ class SecureRpc:
                 except ReplayError:
                     # A replayed request is *not* re-executed and *not*
                     # answered: the genuine execution's reply (matched by
-                    # request id) is the only response the sender sees.
+                    # request id) is the only response the sender sees —
+                    # and the replayed context is never adopted, so a
+                    # replayed frame cannot graft spans into a live trace.
                     return None, 0
-            reply = yield from handler(message, src)
+            # Adopt the sender's trace context (verified: it traveled
+            # inside the MAC'd metadata) so this handler fiber's spans
+            # join the transaction's cross-node DAG.
+            handler_span = None
+            if self.tracer.enabled and message.trace is not None:
+                self.tracer.adopt(message.trace, message.trace_parent)
+                handler_span = self.tracer.span(
+                    "rpc",
+                    MsgType.NAMES.get(message.msg_type, str(message.msg_type)),
+                    node=self.runtime.name or None,
+                    src=src, origin=message.trace_origin,
+                )
+            try:
+                reply = yield from handler(message, src)
+            finally:
+                if handler_span is not None:
+                    handler_span.close()
             if self._batched:
                 wire, nbytes = self._encode_part(reply)
             else:
                 wire, nbytes = self._encode(reply)
                 if self._encrypted:
+                    cspan = self.tracer.span(
+                        "crypto", "seal", node=self.runtime.name or None,
+                        seal_ops=1, bytes=nbytes,
+                    )
                     yield from self.runtime.seal_cost(nbytes)
+                    cspan.close()
             return wire, nbytes
 
         self.endpoint.register_handler(msg_type, wrapped)

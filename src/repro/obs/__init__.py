@@ -1,9 +1,13 @@
 """repro.obs — deterministic tracing, metrics, and runtime verification.
 
-The observability subsystem has four parts:
+The observability subsystem has five parts:
 
 * :mod:`repro.obs.tracer` — structured spans/events on the sim clock,
   zero-cost when disabled;
+* :mod:`repro.obs.critpath` — critical-path analysis over a
+  transaction's cross-node span DAG, attributing commit latency to
+  network / crypto / counter / lock / group-commit / storage / TEE /
+  compute;
 * :mod:`repro.obs.registry` — per-node counters/gauges/histograms plus
   snapshot-time probes, aggregated by a :class:`MetricsHub`;
 * :mod:`repro.obs.export` — JSONL, Chrome ``chrome://tracing`` trace
@@ -20,6 +24,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from .critpath import (
+    CATEGORIES,
+    CriticalPath,
+    aggregate_critical_paths,
+    critical_path,
+    format_breakdown,
+    format_phase_table,
+    transaction_traces,
+)
 from .export import (
     chrome_trace,
     load_chrome_trace,
@@ -56,6 +69,13 @@ __all__ = [
     "SIZE_BUCKETS_BYTES",
     "InvariantMonitor",
     "MonitorViolation",
+    "CATEGORIES",
+    "CriticalPath",
+    "critical_path",
+    "transaction_traces",
+    "aggregate_critical_paths",
+    "format_breakdown",
+    "format_phase_table",
     "chrome_trace",
     "write_chrome_trace",
     "load_chrome_trace",

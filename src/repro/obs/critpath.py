@@ -1,0 +1,399 @@
+"""Critical-path analysis over a transaction's cross-node span DAG.
+
+Given the tracer's records and a trace id (the hex global transaction
+id), this module rebuilds the transaction's span DAG, walks it backward
+from the root span's end ("which child finished last?"), and attributes
+every instant of the root interval to the category of the span that was
+on the critical path at that instant.  The resulting segments exactly
+tile the root interval, so the per-category breakdown sums to the
+measured commit latency — the property the acceptance test pins.
+
+Categories (the paper's §VIII decomposition):
+
+* ``network``    — RPC exchanges: wire time, eRPC queues/doorbells,
+  fiber resume delays (cat ``net``; gaps inside an rpc span between its
+  crypto/handler children).
+* ``crypto``     — AEAD seal/open passes (cat ``crypto``): the batch
+  codec's one-pass frame sealing or per-message sealing.
+* ``counter``    — trusted-counter echo rounds: stabilization waits,
+  round driver execution and COUNTER_* handler processing on replicas
+  (cats ``stabilize``/``counter``, rpc handler spans named COUNTER_*).
+* ``lock``       — contended lock waits (cat ``locks``).
+* ``group_commit`` — the group-commit queue/window/WAL wait (cat
+  ``storage``, name ``group_commit``).
+* ``storage``    — WAL/Clog appends, flushes, compactions (other cat
+  ``storage`` spans).
+* ``tee``        — enclave transitions, EPC paging and message-buffer
+  shielding, carved out of the containing span's own time using the
+  ``cost`` argument on cat ``tee`` events.
+* ``compute``    — everything else: protocol logic inside handler spans,
+  2PC bookkeeping (cats ``twopc``/``node``/``rpc`` own time).
+
+Spans whose parent is outside the trace (the batch codec's crypto spans
+are emitted with ``parent=0`` on purpose — a frame has no single owning
+fiber) are *grafted* into the smallest same-trace span whose interval
+contains them, deterministically, before the walk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CATEGORIES",
+    "CriticalPath",
+    "categorize",
+    "trace_spans",
+    "span_dag",
+    "critical_path",
+    "transaction_traces",
+    "aggregate_critical_paths",
+    "format_breakdown",
+    "format_phase_table",
+    "percentile",
+]
+
+Record = Dict[str, Any]
+
+#: presentation order of the latency categories.
+CATEGORIES = (
+    "network",
+    "crypto",
+    "counter",
+    "lock",
+    "group_commit",
+    "storage",
+    "tee",
+    "compute",
+)
+
+
+def categorize(span: Record) -> str:
+    """Map one span record to its latency category."""
+    cat = span["cat"]
+    if cat == "crypto":
+        return "crypto"
+    if cat == "net":
+        return "network"
+    if cat == "rpc":
+        # Server-side handler spans: counter echo processing is counter
+        # time; other handlers' own time is protocol compute.
+        return "counter" if span["name"].startswith("COUNTER_") else "compute"
+    if cat in ("stabilize", "counter"):
+        return "counter"
+    if cat == "storage":
+        return "group_commit" if span["name"] == "group_commit" else "storage"
+    if cat == "locks":
+        return "lock"
+    return "compute"
+
+
+def trace_spans(records: Iterable[Record], trace: str) -> List[Record]:
+    """All span records belonging to ``trace``, in emission order."""
+    return [
+        rec for rec in records
+        if rec["type"] == "span" and rec.get("trace") == trace
+    ]
+
+
+def _find_root(spans: Sequence[Record]) -> Optional[Record]:
+    """The trace's root: its ``twopc/txn`` span, else the longest span."""
+    for span in spans:
+        if span["cat"] == "twopc" and span["name"] == "txn":
+            return span
+    best = None
+    for span in spans:
+        if best is None or (
+            (span["t1"] - span["t0"], -span["sid"])
+            > (best["t1"] - best["t0"], -best["sid"])
+        ):
+            best = span
+    return best
+
+
+def _graft_orphans(spans: Sequence[Record], root: Record) -> Dict[int, int]:
+    """Resolve every span's effective parent within the trace.
+
+    Returns ``sid -> parent sid`` (0 for the root).  A span whose
+    recorded parent is not a same-trace span is grafted into the
+    smallest same-trace span whose interval contains it (ties broken by
+    sid; identical intervals graft later sids under earlier ones, which
+    also keeps the relation acyclic).  Orphans nothing contains become
+    children of the root.
+    """
+    sids = {span["sid"] for span in spans}
+    parents: Dict[int, int] = {}
+    for span in spans:
+        sid = span["sid"]
+        if sid == root["sid"]:
+            parents[sid] = 0
+            continue
+        parent = span["parent"]
+        if parent in sids and parent != sid:
+            parents[sid] = parent
+            continue
+        best = None
+        for candidate in spans:
+            if candidate["sid"] == sid:
+                continue
+            if not (candidate["t0"] <= span["t0"]
+                    and span["t1"] <= candidate["t1"]):
+                continue
+            same = (candidate["t0"] == span["t0"]
+                    and candidate["t1"] == span["t1"])
+            if same and candidate["sid"] > sid:
+                continue  # the earlier sid hosts; avoids a 2-cycle
+            key = (candidate["t1"] - candidate["t0"], candidate["sid"])
+            if best is None or key < best[0]:
+                best = (key, candidate)
+        parents[sid] = best[1]["sid"] if best is not None else root["sid"]
+    return parents
+
+
+def span_dag(
+    records: Iterable[Record], trace: str
+) -> Tuple[Record, Dict[int, int]]:
+    """The trace's span DAG: ``(root record, sid -> parent sid)``.
+
+    The parent map is post-grafting, so in a well-formed trace every
+    span's parent chain terminates at the root (parent 0).
+    """
+    spans = trace_spans(records, trace)
+    if not spans:
+        raise ValueError("no spans recorded for trace %r" % trace)
+    root = _find_root(spans)
+    return root, _graft_orphans(spans, root)
+
+
+class CriticalPath:
+    """The critical path of one trace: tiling segments + breakdown."""
+
+    def __init__(self, trace: str, root: Record,
+                 segments: List[Tuple[float, float, str, int]],
+                 span_count: int):
+        self.trace = trace
+        self.root = root
+        #: ``(t0, t1, category, sid)`` segments tiling the root interval,
+        #: in reverse-chronological discovery order.
+        self.segments = segments
+        self.span_count = span_count
+        self.total = root["t1"] - root["t0"]
+        breakdown = {category: 0.0 for category in CATEGORIES}
+        for t0, t1, category, _sid in segments:
+            breakdown[category] += t1 - t0
+        self.breakdown = breakdown
+
+    @property
+    def outcome(self) -> Optional[str]:
+        return (self.root.get("args") or {}).get("outcome")
+
+
+def critical_path(records: Iterable[Record], trace: str) -> CriticalPath:
+    """Compute the critical path of ``trace``; raises if it has no spans."""
+    records = list(records)
+    spans = trace_spans(records, trace)
+    if not spans:
+        raise ValueError("no spans recorded for trace %r" % trace)
+    root = _find_root(spans)
+    parents = _graft_orphans(spans, root)
+    children: Dict[int, List[Record]] = {}
+    for span in spans:
+        if span["sid"] != root["sid"]:
+            children.setdefault(parents[span["sid"]], []).append(span)
+
+    segments: List[Tuple[float, float, str, int]] = []
+
+    def walk(span: Record, lo: float, hi: float) -> None:
+        """Attribute ``[lo, hi]`` of ``span``, descending into the child
+        that finished last ("last finisher" backward sweep)."""
+        own = categorize(span)
+        # Largest end first; ties to the longer child, then higher sid.
+        kids = sorted(
+            children.get(span["sid"], ()),
+            key=lambda c: (c["t1"], c["t1"] - c["t0"], c["sid"]),
+        )
+        cursor = hi
+        while kids and cursor > lo:
+            child = kids.pop()
+            child_end = min(child["t1"], cursor)
+            child_start = max(child["t0"], lo)
+            if child_end <= child_start:
+                continue
+            if child_end < cursor:
+                segments.append((child_end, cursor, own, span["sid"]))
+            walk(child, child_start, child_end)
+            cursor = child_start
+        if cursor > lo:
+            segments.append((lo, cursor, own, span["sid"]))
+
+    walk(root, root["t0"], root["t1"])
+    path = CriticalPath(trace, root, segments, len(spans))
+    _carve_tee(path, records, {span["sid"]: span for span in spans})
+    return path
+
+
+def _carve_tee(path: CriticalPath, records: Iterable[Record],
+               by_sid: Dict[int, Record]) -> None:
+    """Move modelled TEE costs out of their containing segments.
+
+    Cat ``tee`` events (world switches, EPC paging, message-buffer
+    shielding) carry their charged cost; each event lands in exactly one
+    critical-path segment (same trace, same node, timestamp inside the
+    segment) and its cost — capped at the segment's length — moves from
+    the segment's category into ``tee``.  The total is preserved.
+    """
+    events = [
+        rec for rec in records
+        if rec["type"] == "event" and rec["cat"] == "tee"
+        and rec.get("trace") == path.trace
+        and (rec.get("args") or {}).get("cost")
+    ]
+    if not events:
+        return
+    remaining = {
+        index: t1 - t0
+        for index, (t0, t1, _category, _sid) in enumerate(path.segments)
+    }
+    for event in events:
+        t = event["t"]
+        node = event.get("node")
+        for index, (t0, t1, category, sid) in enumerate(path.segments):
+            if category == "tee":
+                continue
+            if not (t0 <= t < t1 or (t == t1 == path.root["t1"])):
+                continue
+            span = by_sid.get(sid)
+            if span is not None and span.get("node") != node:
+                continue
+            carve = min(
+                float((event.get("args") or {}).get("cost", 0.0)),
+                remaining[index],
+            )
+            if carve > 0.0:
+                remaining[index] -= carve
+                path.breakdown[category] -= carve
+                path.breakdown["tee"] += carve
+            break
+
+
+def transaction_traces(
+    records: Iterable[Record], outcome: Optional[str] = None
+) -> List[str]:
+    """Trace ids with a ``twopc/txn`` root span, in commit order.
+
+    ``outcome`` filters on the root span's recorded outcome
+    ("commit"/"abort"); None keeps every distributed transaction.
+    """
+    traces: List[str] = []
+    seen = set()
+    for rec in records:
+        if rec["type"] != "span" or rec["cat"] != "twopc":
+            continue
+        if rec["name"] != "txn" or not rec.get("trace"):
+            continue
+        if outcome is not None and (rec.get("args") or {}).get(
+                "outcome") != outcome:
+            continue
+        if rec["trace"] not in seen:
+            seen.add(rec["trace"])
+            traces.append(rec["trace"])
+    return traces
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Interpolated percentile, ``p`` in [0, 100] (0.0 for no samples)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def aggregate_critical_paths(
+    records: Iterable[Record], traces: Optional[Sequence[str]] = None
+) -> Dict[str, Any]:
+    """Per-category latency samples across many transactions.
+
+    Returns ``{"count", "categories": {cat: [seconds per txn]},
+    "totals": [seconds per txn]}`` for the given traces (default: every
+    committed distributed transaction in the records).
+    """
+    records = list(records)
+    if traces is None:
+        traces = transaction_traces(records, outcome="commit")
+    categories: Dict[str, List[float]] = {
+        category: [] for category in CATEGORIES
+    }
+    totals: List[float] = []
+    for trace in traces:
+        path = critical_path(records, trace)
+        totals.append(path.total)
+        for category in CATEGORIES:
+            categories[category].append(path.breakdown[category])
+    return {"count": len(totals), "categories": categories, "totals": totals}
+
+
+# -- rendering -----------------------------------------------------------------
+
+def _table(title: str, headers: Sequence[str],
+           rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["=== %s ===" % title,
+             "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_breakdown(path: CriticalPath) -> str:
+    """One transaction's critical path as a per-category table."""
+    rows = []
+    for category in CATEGORIES:
+        seconds = path.breakdown[category]
+        if seconds <= 0.0:
+            continue
+        rows.append((
+            category,
+            "%.6f" % (seconds * 1e3),
+            "%5.1f%%" % (seconds / path.total * 100 if path.total else 0.0),
+        ))
+    rows.append(("total", "%.6f" % (path.total * 1e3), "100.0%"))
+    title = "critical path: txn %s (%s, %d spans)" % (
+        path.trace, path.outcome or "?", path.span_count
+    )
+    return _table(title, ("category", "ms", "share"), rows)
+
+
+def format_phase_table(aggregate: Dict[str, Any]) -> str:
+    """The bench reports' "where does a millisecond go" p50/p99 table."""
+    totals = aggregate["totals"]
+    grand_total = sum(totals) or 1.0
+    rows = []
+    for category in CATEGORIES:
+        samples = aggregate["categories"][category]
+        if not any(samples):
+            continue
+        rows.append((
+            category,
+            "%.3f" % (percentile(samples, 50) * 1e3),
+            "%.3f" % (percentile(samples, 99) * 1e3),
+            "%5.1f%%" % (sum(samples) / grand_total * 100),
+        ))
+    rows.append((
+        "total",
+        "%.3f" % (percentile(totals, 50) * 1e3),
+        "%.3f" % (percentile(totals, 99) * 1e3),
+        "100.0%",
+    ))
+    title = ("critical path: where does a millisecond go "
+             "(%d committed distributed txns)" % aggregate["count"])
+    return _table(title, ("category", "p50 ms", "p99 ms", "share"), rows)

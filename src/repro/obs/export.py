@@ -9,7 +9,10 @@ Three output formats:
   point events become ``"i"`` instants.  ``pid`` is the node, ``tid`` is
   ``<category>/<lane>`` where lanes are assigned greedily so overlapping
   spans of one category never share a row (interval partitioning keeps
-  the viewer's nesting rules satisfied).
+  the viewer's nesting rules satisfied).  Trace-context edges that cross
+  nodes (a handler span adopted from a remote sender) additionally emit
+  ``"s"``/``"f"`` flow events so the viewer draws the causal arrows of
+  the transaction's span DAG.
 * **summary table** — a fixed-width text rendering of registry
   snapshots for terminals and bench reports.
 """
@@ -116,12 +119,54 @@ def chrome_trace(records: Iterable[Record]) -> Dict[str, Any]:
                 "ts": _us(rec["t"]),
                 "args": args,
             })
+    events.extend(_flow_events(spans, lanes))
     metadata = [
         {"ph": "M", "name": "process_name", "pid": pid, "ts": 0,
          "args": {"name": pid}}
         for pid in seen_pids
     ]
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def _flow_events(spans: List[Record],
+                 lanes: Dict[int, int]) -> List[Dict[str, Any]]:
+    """``"s"``/``"f"`` flow-event pairs along cross-node context edges.
+
+    For every span whose trace-context parent lives on a *different*
+    node (i.e. the edge the wire header carried), emit a flow start on
+    the parent's track and a flow end (``"bp": "e"``: bind to the
+    enclosing slice) on the child's.  The start timestamp is clamped
+    into the parent's interval — the viewer refuses arrows that leave
+    their slice.  Same-node parent/child nesting is already visible from
+    the lane layout, so only cross-node edges get arrows.
+    """
+    by_sid = {span["sid"]: span for span in spans}
+    flows: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = by_sid.get(span["parent"])
+        if parent is None or parent.get("node") == span.get("node"):
+            continue
+        ts = min(max(span["t0"], parent["t0"]), parent["t1"])
+        flows.append({
+            "ph": "s",
+            "name": "ctx",
+            "cat": "trace",
+            "id": span["sid"],
+            "pid": parent.get("node") or "sim",
+            "tid": "%s/%d" % (parent["cat"], lanes[parent["sid"]]),
+            "ts": _us(ts),
+        })
+        flows.append({
+            "ph": "f",
+            "bp": "e",
+            "name": "ctx",
+            "cat": "trace",
+            "id": span["sid"],
+            "pid": span.get("node") or "sim",
+            "tid": "%s/%d" % (span["cat"], lanes[span["sid"]]),
+            "ts": _us(span["t0"]),
+        })
+    return flows
 
 
 def write_chrome_trace(records: Iterable[Record],
@@ -153,12 +198,26 @@ def _format_value(value: Any) -> str:
     return str(value)
 
 
+#: widest metric/component name a summary table will render before
+#: truncating with ``...`` — keeps one runaway probe name from blowing
+#: up the whole column for every other row.
+_NAME_CAP = 40
+
+
+def _clip(name: str) -> str:
+    if len(name) <= _NAME_CAP:
+        return name
+    return name[:_NAME_CAP - 3] + "..."
+
+
 def summary_table(snapshot: Dict[str, Dict[str, Any]],
                   title: str = "metrics") -> str:
     """Render a :meth:`MetricsHub.snapshot` as a fixed-width table.
 
     Histograms are summarized to ``total/mean/max``; scalar metrics
-    print as-is.
+    print as-is.  Component and metric names longer than ``_NAME_CAP``
+    are truncated (with ``...``) instead of widening the columns; output
+    stays byte-deterministic per seed.
     """
     rows: List[List[str]] = []
     for component in sorted(snapshot):
@@ -171,7 +230,7 @@ def summary_table(snapshot: Dict[str, Dict[str, Any]],
                 )
             else:
                 rendered = _format_value(value)
-            rows.append([component, name, rendered])
+            rows.append([_clip(component), _clip(name), rendered])
     headers = ["component", "metric", "value"]
     widths = [len(h) for h in headers]
     for row in rows:

@@ -15,12 +15,26 @@ lookup plus one no-op call.
 Records are plain dicts with two shapes:
 
 ``{"type": "event", "t": <sim s>, "cat": ..., "name": ..., "node": ...,
-  "txn": ..., "args": {...}}`` — a point event, recorded when emitted.
+  "txn": ..., "trace": ..., "args": {...}}`` — a point event, recorded
+when emitted.
 
 ``{"type": "span", "t0": ..., "t1": ..., "cat": ..., "name": ...,
-  "node": ..., "txn": ..., "sid": n, "parent": m, "args": {...}}`` — a
-closed span; ``parent`` is the innermost span still open when this one
-was opened (0 at top level), giving the nesting the exporters render.
+  "node": ..., "txn": ..., "trace": ..., "sid": n, "parent": m,
+  "args": {...}}`` — a closed span.
+
+Parent/trace assignment is **fiber-local**: each simulator process (the
+paper's SCONE fiber) carries its own open-span stack, so interleaved
+fibers no longer steal each other's parents the way the original single
+global stack allowed.  A span's ``parent`` is the innermost span still
+open *in the opening fiber*; a fiber spawned while a span is open
+inherits that span's ``(trace, sid)`` as its starting context, so
+background processes (group-commit leaders, counter round drivers,
+recovery redrives) chain under the work that spawned them.  Cross-node
+edges are established explicitly: the RPC layer stamps the sender's
+context into the sealed message metadata and the receiving fiber calls
+:meth:`Tracer.adopt` — see ``docs/OBSERVABILITY.md`` for the wire
+format.  ``trace`` is the transaction-scoped trace id (the hex global
+transaction id for 2PC work) grouping one causal DAG per transaction.
 
 Subscribers (the invariant monitor) receive every record as it is
 finalized, whether or not the tracer retains records for export.
@@ -29,7 +43,7 @@ finalized, whether or not the tracer retains records for export.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "tracer_of"]
 
@@ -40,9 +54,10 @@ class Span:
     """One open interval of simulated time; close it (or use ``with``)."""
 
     __slots__ = ("tracer", "cat", "name", "node", "txn", "start", "args",
-                 "sid", "parent", "_closed")
+                 "sid", "parent", "trace", "_stack", "_closed")
 
-    def __init__(self, tracer, cat, name, node, txn, start, args, sid, parent):
+    def __init__(self, tracer, cat, name, node, txn, start, args, sid,
+                 parent, trace, stack):
         self.tracer = tracer
         self.cat = cat
         self.name = name
@@ -52,6 +67,8 @@ class Span:
         self.args = args
         self.sid = sid
         self.parent = parent
+        self.trace = trace
+        self._stack = stack
         self._closed = False
 
     def close(self, **extra: Any) -> None:
@@ -88,8 +105,13 @@ class Tracer:
         self.records: List[Dict[str, Any]] = []
         self.subscribers: List[Subscriber] = []
         self._ids = itertools.count(1)
-        #: innermost-open-first stack used to assign span parents.
+        #: open-span stack for code running outside any process.
         self._open: List[Span] = []
+        #: per-process open-span stacks (fiber-local parent assignment).
+        self._proc_open: Dict[Any, List[Span]] = {}
+        #: per-process inherited/adopted ``(trace, parent sid)`` context,
+        #: captured at spawn time or set by :meth:`adopt`.
+        self._proc_ctx: Dict[Any, Tuple[Optional[str], int]] = {}
         self.spans_closed = 0
         self.events_emitted = 0
 
@@ -104,46 +126,120 @@ class Tracer:
         for subscriber in self.subscribers:
             subscriber(rec)
 
+    # -- fiber-local context -----------------------------------------------
+    def _current_stack(self) -> List[Span]:
+        process = getattr(self.sim, "current_process", None)
+        if process is None:
+            return self._open
+        stack = self._proc_open.get(process)
+        if stack is None:
+            stack = self._proc_open[process] = []
+        return stack
+
+    def current_context(self) -> Tuple[Optional[str], int]:
+        """The ``(trace, parent sid)`` a new span here would attach to.
+
+        Resolution order: the innermost span open in the current fiber,
+        then the fiber's inherited/adopted context, then the innermost
+        span on the off-process stack, else ``(None, 0)``.
+        """
+        process = getattr(self.sim, "current_process", None)
+        if process is not None:
+            stack = self._proc_open.get(process)
+            if stack:
+                top = stack[-1]
+                return top.trace, top.sid
+            context = self._proc_ctx.get(process)
+            if context is not None:
+                return context
+        if self._open:
+            top = self._open[-1]
+            return top.trace, top.sid
+        return None, 0
+
+    def adopt(self, trace: Optional[str], parent: int) -> None:
+        """Adopt a remote ``(trace, parent sid)`` as this fiber's context.
+
+        Called by the RPC layer when a message carrying a trace context
+        is dispatched to a handler fiber: spans the fiber (and fibers it
+        spawns) opens chain under the sender's span, joining the
+        transaction's cross-node DAG.
+        """
+        process = getattr(self.sim, "current_process", None)
+        if process is not None:
+            self._proc_ctx[process] = (trace, parent)
+
     # -- spans -------------------------------------------------------------
     def span(self, cat: str, name: str, node: Optional[str] = None,
-             txn: Optional[str] = None, **args: Any) -> Span:
-        """Open a span at the current instant; ``close()`` ends it."""
-        parent = self._open[-1].sid if self._open else 0
+             txn: Optional[str] = None, parent: Optional[int] = None,
+             trace: Optional[str] = None, **args: Any) -> Span:
+        """Open a span at the current instant; ``close()`` ends it.
+
+        ``parent``/``trace`` override the fiber-local context — used at
+        adoption points (RPC handlers, counter round drivers) to attach
+        a span to an explicitly carried remote context.
+        """
+        if parent is None or trace is None:
+            inherited_trace, inherited_parent = self.current_context()
+            if parent is None:
+                parent = inherited_parent
+            if trace is None:
+                trace = inherited_trace
+        stack = self._current_stack()
         span = Span(self, cat, name, node, txn, self.sim.now, args,
-                    next(self._ids), parent)
-        self._open.append(span)
+                    next(self._ids), parent, trace, stack)
+        stack.append(span)
         return span
 
     def _close_span(self, span: Span) -> None:
-        # Remove by identity: interleaved fibers may close out of order.
-        for index in range(len(self._open) - 1, -1, -1):
-            if self._open[index] is span:
-                del self._open[index]
+        # Remove by identity from the owning fiber's stack: a span may be
+        # closed from a different fiber (or after its fiber finished).
+        stack = span._stack
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is span:
+                del stack[index]
                 break
+        span._stack = None
         self.spans_closed += 1
         self._emit({
             "type": "span", "cat": span.cat, "name": span.name,
             "t0": span.start, "t1": self.sim.now, "node": span.node,
-            "txn": span.txn, "sid": span.sid, "parent": span.parent,
-            "args": span.args,
+            "txn": span.txn, "trace": span.trace, "sid": span.sid,
+            "parent": span.parent, "args": span.args,
         })
 
     # -- point events ------------------------------------------------------
     def event(self, cat: str, name: str, node: Optional[str] = None,
-              txn: Optional[str] = None, **args: Any) -> None:
-        """Emit a point event at the current instant."""
+              txn: Optional[str] = None, trace: Optional[str] = None,
+              **args: Any) -> None:
+        """Emit a point event at the current instant.
+
+        The event is stamped with the current fiber's trace id unless an
+        explicit ``trace`` is given, so point events (counter advances,
+        TEE transitions) land inside their transaction's DAG.
+        """
+        if trace is None:
+            trace = self.current_context()[0]
         self.events_emitted += 1
         self._emit({
             "type": "event", "cat": cat, "name": name, "t": self.sim.now,
-            "node": node, "txn": txn, "args": args,
+            "node": node, "txn": txn, "trace": trace, "args": args,
         })
 
     # -- sim process hooks (called from repro.sim.core) --------------------
     def process_started(self, process) -> None:
+        # Process.__init__ runs in the *spawning* fiber, so the current
+        # context here is the spawner's — capture it as the new fiber's
+        # inherited context (background work chains under its creator).
+        trace, parent = self.current_context()
+        if trace is not None or parent:
+            self._proc_ctx[process] = (trace, parent)
         if self.trace_processes:
             self.event("sim", "process_start", process=process.name)
 
     def process_finished(self, process) -> None:
+        self._proc_open.pop(process, None)
+        self._proc_ctx.pop(process, None)
         if self.trace_processes:
             self.event("sim", "process_end", process=process.name)
 
@@ -152,6 +248,10 @@ class _NullSpan:
     """Reusable do-nothing span handed out by the null tracer."""
 
     __slots__ = ()
+
+    sid = 0
+    parent = 0
+    trace = None
 
     def close(self, **extra: Any) -> None:
         pass
@@ -179,11 +279,19 @@ class NullTracer:
         raise RuntimeError("cannot subscribe to the null tracer")
 
     def span(self, cat: str, name: str, node: Optional[str] = None,
-             txn: Optional[str] = None, **args: Any) -> _NullSpan:
+             txn: Optional[str] = None, parent: Optional[int] = None,
+             trace: Optional[str] = None, **args: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def event(self, cat: str, name: str, node: Optional[str] = None,
-              txn: Optional[str] = None, **args: Any) -> None:
+              txn: Optional[str] = None, trace: Optional[str] = None,
+              **args: Any) -> None:
+        pass
+
+    def current_context(self) -> Tuple[Optional[str], int]:
+        return None, 0
+
+    def adopt(self, trace: Optional[str], parent: int) -> None:
         pass
 
     def process_started(self, process) -> None:

@@ -207,6 +207,11 @@ class Process(Event):
             self._step(throw=event.value)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        # Callback execution never nests (all dispatch goes through the
+        # heap), so a plain save/restore of current_process is enough even
+        # when a step triggers events whose callbacks run later.
+        previous = self.sim.current_process
+        self.sim.current_process = self
         try:
             if throw is not None:
                 target = self._body.throw(throw)
@@ -222,6 +227,8 @@ class Process(Event):
                 self.sim.tracer.process_finished(self)
             self.fail(exc)
             return
+        finally:
+            self.sim.current_process = previous
         if not isinstance(target, Event):
             self.fail(
                 SimulationError(
@@ -329,6 +336,10 @@ class Simulator:
         #: cost of one identity check).
         self.tracer: Optional[Any] = None
         self.obs: Optional[Any] = None
+        #: the process whose generator is currently being stepped (None
+        #: between steps and for plain callbacks).  The tracer keys its
+        #: per-fiber span stacks and inherited trace contexts off this.
+        self.current_process: Optional["Process"] = None
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:

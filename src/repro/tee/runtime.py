@@ -91,8 +91,8 @@ class NodeRuntime:
         """Charge paging for touching enclave-resident data under pressure."""
         cost = self.enclave.touch_cost(nbytes) if self.profile.in_enclave else 0.0
         if cost > 0.0:
-            self.tracer.event("tee", "epc_paging", bytes=nbytes,
-                              cost=round(cost, 9))
+            self.tracer.event("tee", "epc_paging", node=self.name or None,
+                              bytes=nbytes, cost=round(cost, 9))
             yield from self.cpu.consume(cost)
 
     # -- syscalls ------------------------------------------------------------
@@ -106,8 +106,10 @@ class NodeRuntime:
     def world_switch(self) -> Gen:
         """A full enclave exit/enter (only on naive OCALL paths)."""
         if self.profile.in_enclave:
-            self.tracer.event("tee", "world_switch")
-            yield from self.cpu.consume(self.enclave.transition_cost())
+            cost = self.enclave.transition_cost()
+            self.tracer.event("tee", "world_switch", node=self.name or None,
+                              cost=round(cost, 9))
+            yield from self.cpu.consume(cost)
 
     def msgbuf_shield(self, nbytes: int) -> Gen:
         """Stage message-buffer bytes between enclave and host hugepages.
@@ -117,11 +119,13 @@ class NodeRuntime:
         boundary instead of paging EPC.
         """
         if self.profile.in_enclave and nbytes > 0:
-            self.tracer.event("tee", "msgbuf_shield", bytes=nbytes)
-            yield from self.cpu.consume(
+            cost = (
                 self.costs.scone_net_handling
                 + nbytes * self.costs.scone_msgbuf_copy_per_byte
             )
+            self.tracer.event("tee", "msgbuf_shield", node=self.name or None,
+                              bytes=nbytes, cost=round(cost, 9))
+            yield from self.cpu.consume(cost)
 
     # -- cryptography ----------------------------------------------------------
     def seal_cost(self, nbytes: int) -> Gen:

@@ -157,17 +157,27 @@ class GroupCommitter:
         Raises :class:`ConflictError` if the validator vetoes.
         """
         self._observe_arrival()
-        outcome = self.runtime.sim.event()
-        self._queue.append(
-            CommitRequest(txn_id, writes, validator, outcome, wait_stable)
+        # Covers queue wait + window + WAL write up to the outcome — the
+        # "group-commit wait" slice of the critical-path breakdown.
+        span = self.runtime.tracer.span(
+            "storage", "group_commit", node=self.runtime.name or None,
         )
-        if not self._leader_active:
-            self._leader_active = True
-            # This fiber becomes the leader and drives the batch;
-            # "defer logging (yield) at commit" lets more requests join.
-            yield self.runtime.sim.timeout(self.window_delay())
-            yield from self._lead()
-        result = yield outcome
+        try:
+            outcome = self.runtime.sim.event()
+            self._queue.append(
+                CommitRequest(txn_id, writes, validator, outcome, wait_stable)
+            )
+            if not self._leader_active:
+                self._leader_active = True
+                # This fiber becomes the leader and drives the batch;
+                # "defer logging (yield) at commit" lets more requests join.
+                yield self.runtime.sim.timeout(self.window_delay())
+                yield from self._lead()
+            result = yield outcome
+        except BaseException as exc:
+            span.close(error=type(exc).__name__)
+            raise
+        span.close()
         return result
 
     def _lead(self) -> Gen:

@@ -15,6 +15,7 @@ from collections import OrderedDict, defaultdict
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from ..errors import LockTimeout
+from ..obs.tracer import tracer_of
 from ..sim.core import Event, Simulator
 
 __all__ = ["LockMode", "LockTable"]
@@ -75,6 +76,10 @@ class LockTable:
         #: owning TransactionManager (kept optional so unit tests can use
         #: a bare LockTable).
         self.wait_hist = None
+        self.tracer = tracer_of(sim)
+        #: node label for lock-wait spans, installed by the owning
+        #: TransactionManager (None for bare unit-test tables).
+        self.node_name: Optional[str] = None
 
     # -- internals ----------------------------------------------------------
     def _lock_for(self, key: bytes, create: bool = True) -> Optional[_KeyLock]:
@@ -141,10 +146,14 @@ class LockTable:
             return
         # Must wait (possibly for other readers to drain on an upgrade).
         wait_start = self.sim.now
+        span = self.tracer.span(
+            "locks", "wait", node=self.node_name, mode=mode,
+        )
         grant = self.sim.event()
         state.waiters.append((txn_id, mode, key, grant))
         deadline = self.sim.timeout(self.timeout if timeout is None else timeout)
         yield self.sim.any_of([grant, deadline])
+        span.close(granted=grant.triggered)
         if self.wait_hist is not None:
             self.wait_hist.observe(self.sim.now - wait_start)
         if not grant.triggered:

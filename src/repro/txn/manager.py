@@ -47,6 +47,7 @@ class TransactionManager:
             runtime.sim, shards=config.lock_shards, timeout=config.lock_timeout
         )
         self.locks.wait_hist = runtime.metrics.histogram("locks.wait_s")
+        self.locks.node_name = runtime.name or name
         runtime.metrics.probe("locks.timeouts", lambda: self.locks.timeouts)
         runtime.metrics.probe(
             "locks.acquisitions", lambda: self.locks.acquisitions

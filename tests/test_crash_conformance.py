@@ -172,11 +172,33 @@ def test_crash_point_conformance(seed):
         trace_dir = os.environ.get("CRASH_CONFORMANCE_TRACE_DIR")
         if trace_dir:
             os.makedirs(trace_dir, exist_ok=True)
+            records = cluster.obs.records()
             write_chrome_trace(
-                cluster.obs.records(),
+                records,
                 os.path.join(trace_dir, "seed-%03d.trace.json" % seed),
             )
+            _export_critical_paths(
+                records,
+                os.path.join(trace_dir, "seed-%03d.critpath.txt" % seed),
+            )
         raise
+
+
+def _export_critical_paths(records, path):
+    """Per-transaction critical paths for the failing seed's trace — the
+    "where did the time go" view next to the raw Chrome trace.  Best
+    effort: a half-recorded trace must never mask the real failure."""
+    from repro.obs import critical_path, format_breakdown, transaction_traces
+
+    sections = []
+    for trace in transaction_traces(records):
+        try:
+            sections.append(format_breakdown(critical_path(records, trace)))
+        except Exception as exc:  # noqa: BLE001 - diagnostic export only
+            sections.append("trace %s: critical path unavailable (%s)"
+                            % (trace, exc))
+    with open(path, "w") as fp:
+        fp.write("\n\n".join(sections) + "\n")
 
 
 def _run_one_seed(cluster, rng, point, occurrence, victim_offset):

@@ -1,0 +1,306 @@
+"""Cross-node trace propagation, critical-path attribution, baselines."""
+
+import json
+
+import pytest
+
+from repro.net import NetworkAdversary
+from repro.obs import (
+    aggregate_critical_paths,
+    critical_path,
+    format_breakdown,
+    format_phase_table,
+    load_chrome_trace,
+    summary_table,
+    transaction_traces,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.critpath import CATEGORIES, span_dag, trace_spans
+
+from tests.test_obs import spread_txn, traced_cluster
+
+
+def committed_trace(cluster):
+    """The (single) committed distributed transaction's trace id."""
+    traces = transaction_traces(cluster.obs.records(), outcome="commit")
+    assert len(traces) >= 1
+    return traces[0]
+
+
+def assert_connected_dag(records, trace):
+    """Every span of the trace reaches the root through parent links."""
+    root, parents = span_dag(records, trace)
+    for sid in parents:
+        cursor, hops = sid, 0
+        while parents.get(cursor, 0) != 0:
+            cursor = parents[cursor]
+            hops += 1
+            assert hops < 10_000, "cycle in span DAG"
+        assert cursor == root["sid"]
+    return root
+
+
+# -- trace propagation ---------------------------------------------------------
+
+
+class TestTracePropagation:
+    def test_committed_txn_forms_one_connected_dag(self):
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        records = cluster.obs.records()
+        trace = committed_trace(cluster)
+        root = assert_connected_dag(records, trace)
+        assert (root["cat"], root["name"]) == ("twopc", "txn")
+        spans = trace_spans(records, trace)
+        # the DAG reaches the coordinator, both participants, and the
+        # counter service's echo round
+        assert {"node0", "node1", "node2"} <= {s.get("node") for s in spans}
+        names = {(s["cat"], s["name"]) for s in spans}
+        assert ("counter", "round") in names
+        assert ("rpc", "COUNTER_UPDATE") in names
+        assert ("rpc", "TXN_PREPARE") in names
+        assert ("crypto", "seal_batch") in names
+
+    def test_trace_id_is_the_transaction_id(self):
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        trace = committed_trace(cluster)
+        spans = trace_spans(cluster.obs.records(), trace)
+        root = [s for s in spans if s["name"] == "txn"][0]
+        assert root["txn"] == trace
+
+    def test_connected_under_delayed_frames(self):
+        cluster = traced_cluster()
+        adversary = NetworkAdversary()
+        adversary.delay_matching(
+            lambda f: f.kind == "erpc" and f.meta.get("is_request"),
+            delay=0.003,
+        )
+        cluster.fabric.adversary = adversary
+        cluster.run(spread_txn(cluster, tag=b"cd")())
+        cluster.sim.run(until=cluster.sim.now + 0.5)
+        assert adversary.delayed >= 1
+        records = cluster.obs.records()
+        assert_connected_dag(records, committed_trace(cluster))
+
+    def test_replayed_frames_never_graft_spans(self):
+        """A duplicated prepare is dropped by the replay guard *before*
+        context adoption, so the live trace gains no extra handler
+        spans: exactly one TXN_PREPARE span per remote participant."""
+        cluster = traced_cluster()
+        adversary = NetworkAdversary()
+        adversary.duplicate_matching(
+            lambda f: f.kind == "erpc" and f.meta.get("is_request")
+            and f.meta.get("req_type") == 3  # TXN_PREPARE
+        )
+        cluster.fabric.adversary = adversary
+        cluster.run(spread_txn(cluster, tag=b"rg")())
+        cluster.sim.run(until=cluster.sim.now + 0.5)
+        assert adversary.duplicated >= 1
+        records = cluster.obs.records()
+        trace = committed_trace(cluster)
+        assert_connected_dag(records, trace)
+        prepares = [
+            s for s in trace_spans(records, trace)
+            if s["cat"] == "rpc" and s["name"] == "TXN_PREPARE"
+        ]
+        assert len(prepares) == cluster.num_nodes - 1
+
+    def test_tracing_off_adds_no_trace_to_wire(self):
+        from repro.net.message import MsgType, TxMessage, peek_trace
+
+        message = TxMessage(MsgType.TXN_PREPARE, 1, 2, 3, b"x")
+        assert peek_trace(message.encode()) is None
+        carried = TxMessage(
+            MsgType.TXN_PREPARE, 1, 2, 3, b"x", trace="ab" * 16,
+            trace_parent=9,
+        )
+        decoded = TxMessage.decode(carried.encode())
+        assert decoded.trace == "ab" * 16
+        assert decoded.trace_parent == 9
+        # trace fields are transparent to equality / replay identity
+        assert decoded == message
+
+
+# -- critical-path attribution -------------------------------------------------
+
+
+class TestCriticalPath:
+    def test_breakdown_sums_to_commit_latency(self):
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        records = cluster.obs.records()
+        path = critical_path(records, committed_trace(cluster))
+        assert path.total > 0
+        assert sum(path.breakdown.values()) == pytest.approx(
+            path.total, abs=1e-12
+        )
+        # segments exactly tile the root interval
+        segments = sorted(path.segments)
+        assert segments[0][0] == pytest.approx(path.root["t0"], abs=1e-12)
+        assert segments[-1][1] == pytest.approx(path.root["t1"], abs=1e-12)
+        for (_, end, _, _), (start, _, _, _) in zip(segments, segments[1:]):
+            assert start == pytest.approx(end, abs=1e-12)
+
+    def test_expected_categories_show_up(self):
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        path = critical_path(
+            cluster.obs.records(), committed_trace(cluster)
+        )
+        for category in ("network", "counter", "group_commit"):
+            assert path.breakdown[category] > 0.0
+        assert set(path.breakdown) == set(CATEGORIES)
+
+    def test_outcome_and_formatting(self):
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        records = cluster.obs.records()
+        path = critical_path(records, committed_trace(cluster))
+        assert path.outcome == "commit"
+        text = format_breakdown(path)
+        assert "critical path" in text and "total" in text
+        table = format_phase_table(aggregate_critical_paths(records))
+        assert "where does a millisecond go" in table
+
+    def test_aggregate_is_deterministic_per_seed(self):
+        tables = []
+        for _run in range(2):
+            cluster = traced_cluster(seed=37)
+            cluster.run(spread_txn(cluster)())
+            tables.append(
+                format_phase_table(
+                    aggregate_critical_paths(cluster.obs.records())
+                )
+            )
+        assert tables[0] == tables[1]
+
+    def test_cli_critical_path_from_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        path = tmp_path / "records.jsonl"
+        write_jsonl(cluster.obs.records(), str(path))
+        assert main(["trace", "critical-path", "--from-jsonl",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "where does a millisecond go" in out
+        assert main(["trace", "critical-path", "last", "--from-jsonl",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path: txn" in out
+
+
+# -- chrome-trace flow events --------------------------------------------------
+
+
+class TestFlowEvents:
+    def test_flow_events_roundtrip_along_cross_node_edges(self, tmp_path):
+        cluster = traced_cluster()
+        cluster.run(spread_txn(cluster)())
+        records = cluster.obs.records()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(records, str(path))
+        events = load_chrome_trace(str(path))
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert starts and len(starts) == len(ends)
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        by_id = {e["id"]: e for e in starts}
+        spans = {r["sid"]: r for r in records if r["type"] == "span"}
+        for end in ends:
+            start = by_id[end["id"]]
+            assert end["bp"] == "e"
+            assert start["cat"] == end["cat"] == "trace"
+            # flow edges are exactly the cross-node parent links
+            child = spans[end["id"]]
+            parent = spans[child["parent"]]
+            assert start["pid"] == parent["node"]
+            assert end["pid"] == child["node"]
+            assert start["pid"] != end["pid"]
+            # the start timestamp is clamped into the parent's interval
+            assert start["ts"] >= round(parent["t0"] * 1e6, 3) - 1e-6
+            assert start["ts"] <= round(parent["t1"] * 1e6, 3) + 1e-6
+
+
+# -- bench baseline ------------------------------------------------------------
+
+
+class TestBaseline:
+    @pytest.fixture(scope="class")
+    def document(self):
+        from repro.bench.baseline import run_baseline
+
+        return run_baseline(num_clients=8, duration=0.05)
+
+    def test_fresh_baseline_passes_its_own_check(self, document):
+        from repro.bench.baseline import check_baseline
+
+        assert check_baseline(document, document) == []
+
+    def test_regressions_are_direction_aware(self, document):
+        from repro.bench.baseline import check_baseline
+
+        reference = json.loads(json.dumps(
+            {k: v for k, v in document.items() if not k.startswith("_")}
+        ))
+        reference["metrics"]["throughput_tps"] *= 4.0
+        reference["metrics"]["frames_per_txn"] /= 4.0
+        failures = check_baseline(document, reference)
+        assert any("throughput_tps" in f for f in failures)
+        assert any("frames_per_txn" in f for f in failures)
+        # improvements never fail
+        better = json.loads(json.dumps(reference))
+        better["metrics"]["throughput_tps"] = 0.01
+        better["metrics"]["frames_per_txn"] = 1e9
+        better["metrics"]["p99_commit_latency_ms"] = 1e9
+        better["metrics"]["seal_ops_per_txn"] = 1e9
+        better["metrics"]["counter_rounds_per_txn"] = 1e9
+        assert check_baseline(document, better) == []
+
+    def test_document_shape(self, document):
+        from repro.bench.baseline import GATED_METRICS, write_baseline
+
+        for name, _direction in GATED_METRICS:
+            assert name in document["metrics"]
+        breakdown = document["critical_path"]
+        assert breakdown["txns"] > 0
+        assert set(breakdown["categories"]) == set(CATEGORIES)
+        shares = sum(
+            c["share"] for c in breakdown["categories"].values()
+        )
+        assert shares == pytest.approx(1.0, abs=1e-3)
+
+    def test_checked_in_baseline_matches_schema(self):
+        from repro.bench.baseline import BASELINE_PATH, GATED_METRICS
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", BASELINE_PATH
+        )
+        with open(path) as fp:
+            reference = json.load(fp)
+        for name, _direction in GATED_METRICS:
+            assert name in reference["metrics"]
+
+
+# -- summary-table truncation --------------------------------------------------
+
+
+class TestSummaryTable:
+    def test_long_metric_names_truncate_instead_of_misaligning(self):
+        snapshot = {
+            "node0": {
+                "a" * 80: 1,
+                "short": 2,
+            }
+        }
+        text = summary_table(snapshot)
+        lines = text.splitlines()
+        assert any("..." in line for line in lines)
+        # the name column is capped, so no row blows out the table width
+        assert max(len(line) for line in lines) < 80
+        # deterministic: same input, same bytes
+        assert text == summary_table(snapshot)
