@@ -37,6 +37,7 @@ __all__ = [
     "GATED_METRICS",
     "run_baseline",
     "check_baseline",
+    "format_baseline_deltas",
     "write_baseline",
     "load_baseline",
 ]
@@ -150,6 +151,71 @@ def write_baseline(document: Dict[str, Any], path: str = BASELINE_PATH) -> None:
 def load_baseline(path: str = BASELINE_PATH) -> Dict[str, Any]:
     with open(path) as fp:
         return json.load(fp)
+
+
+def format_baseline_deltas(
+    current: Dict[str, Any],
+    reference: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> str:
+    """Per-metric deltas table vs the reference, printed even on success.
+
+    A passing ``--check`` that only says "PASSED" hides how much
+    headroom is left; this table shows each gated metric's drift
+    against its allowed band, plus critical-path category share drift
+    (informational — share shifts are not gated).
+    """
+    from .reporting import format_table
+
+    current_metrics = current["metrics"]
+    reference_metrics = reference["metrics"]
+    rows = []
+    for name, direction in GATED_METRICS:
+        if name not in reference_metrics:
+            rows.append((name, "-", "%.3f" % float(current_metrics[name]),
+                         "-", direction, "n/a"))
+            continue
+        ref = float(reference_metrics[name])
+        cur = float(current_metrics[name])
+        delta = (cur - ref) / ref if ref else 0.0
+        if direction == "min":
+            regressed = cur < ref * (1.0 - tolerance)
+        else:
+            regressed = cur > ref * (1.0 + tolerance) and cur - ref > 1e-9
+        rows.append((
+            name,
+            "%.3f" % ref,
+            "%.3f" % cur,
+            "%+.1f%%" % (delta * 100),
+            "%s %.0f%%" % (direction, tolerance * 100),
+            "FAIL" if regressed else "ok",
+        ))
+    lines = [format_table(
+        "baseline deltas (tolerance %.0f%%)" % (tolerance * 100),
+        ("metric", "baseline", "current", "delta", "gate", "status"),
+        rows,
+    )]
+
+    ref_cats = reference.get("critical_path", {}).get("categories", {})
+    cur_cats = current.get("critical_path", {}).get("categories", {})
+    shared = [c for c in cur_cats if c in ref_cats]
+    if shared:
+        share_rows = []
+        for category in shared:
+            ref_share = float(ref_cats[category].get("share", 0.0))
+            cur_share = float(cur_cats[category].get("share", 0.0))
+            share_rows.append((
+                category,
+                "%.1f%%" % (ref_share * 100),
+                "%.1f%%" % (cur_share * 100),
+                "%+.1f pp" % ((cur_share - ref_share) * 100),
+            ))
+        lines.append(format_table(
+            "critical-path share drift (informational)",
+            ("category", "baseline", "current", "delta"),
+            share_rows,
+        ))
+    return "\n\n".join(lines)
 
 
 def check_baseline(

@@ -16,6 +16,10 @@ Commands:
   under transport batching; see docs/NETWORK.md) and ``baseline``
   (write/check the BENCH_treaty.json performance baseline).
 * ``attacks``— run the attack-detection demonstration.
+* ``mc``     — model checker (see docs/MODELCHECK.md): ``mc explore``
+  exhausts every distinguishable schedule of a small scope (crashes +
+  network adversary) under the I1–I5 monitor; ``mc replay`` re-executes
+  a saved counterexample bit-for-bit.
 """
 
 from __future__ import annotations
@@ -276,6 +280,148 @@ def cmd_attacks(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mc(args: argparse.Namespace) -> int:
+    if args.mode == "replay":
+        if args.file is None:
+            print("mc replay needs a counterexample file", file=sys.stderr)
+            return 2
+        return _mc_replay(args)
+    return _mc_explore(args)
+
+
+def _parse_budget(spec: Optional[str]) -> Optional[float]:
+    """``"60s"`` / ``"60"`` -> seconds of wall-clock search budget."""
+    if spec is None:
+        return None
+    return float(spec[:-1] if spec.endswith("s") else spec)
+
+
+def _mc_counterexample_trace(document, path: str) -> None:
+    """Replay a counterexample under the tracer, write a Chrome trace."""
+    from .mc import replay_counterexample
+    from .obs import write_chrome_trace
+
+    _scope, result = replay_counterexample(
+        document, tracing=True, keep_cluster=True
+    )
+    write_chrome_trace(result.cluster.obs.records(), path)
+    print("chrome trace :", path)
+
+
+def _mc_explore(args: argparse.Namespace) -> int:
+    from .mc import explore, save_counterexample
+    from .mc.harness import MUTATIONS, mutation_scope, parse_scope
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print("unknown mutation %r (known: %s)"
+              % (args.mutate, ", ".join(sorted(MUTATIONS))), file=sys.stderr)
+        return 2
+    if args.mutate is not None:
+        # Focused scope in which the mutation's bug is reachable fast;
+        # --scope is ignored (the mutation dictates the world).
+        scope = mutation_scope(args.mutate)
+    else:
+        offsets = tuple(
+            int(part) for part in args.crash_offsets.split(",") if part
+        )
+        scope = parse_scope(
+            args.scope, max_crashes=args.max_crashes, crash_offsets=offsets
+        )
+
+    def progress(stats):
+        if args.quiet or stats.runs % 200 != 0:
+            return
+        print("  ... depth %d: %d runs, %d states, %.0f%% pruned, %.0fs"
+              % (stats.depth_reached, stats.runs, stats.states,
+                 stats.prune_rate * 100, stats.elapsed_s))
+
+    stats, counterexample = explore(
+        scope,
+        depth=args.depth,
+        budget_s=_parse_budget(args.budget),
+        max_runs=args.max_runs,
+        mutation=args.mutate,
+        progress=progress,
+    )
+
+    print("scope        : %dx%d (txns x nodes)%s"
+          % (scope.txns, scope.nodes,
+             ", mutation %s" % args.mutate if args.mutate else ""))
+    print("actions      : %s; crashes: %d max over %d points"
+          % (" ".join(scope.actions) or "(none)", scope.max_crashes,
+             len(scope.crash_points)))
+    print("runs         : %d (%.1f runs/s, %.1fs elapsed)"
+          % (stats.runs, stats.runs_per_s, stats.elapsed_s))
+    print("states       : %d distinct" % stats.states)
+    print("pruned       : %d (%d sleep-set, %d visited-state) = %.1f%%"
+          % (stats.pruned, stats.pruned_sleep, stats.pruned_visited,
+             stats.prune_rate * 100))
+    print("deepest trace: %d choice points" % stats.deepest_trace)
+    for depth, exhausted in sorted(stats.depth_exhausted.items()):
+        print("depth %-2d     : %s"
+              % (depth, "exhausted" if exhausted else "budget-bounded"))
+
+    if counterexample is None:
+        print("violations   : none (every explored schedule green)")
+        if args.expect_violation:
+            print("FAIL: --expect-violation but none found", file=sys.stderr)
+            return 1
+        return 0
+
+    print("violation    : %s" % stats.violation)
+    print("trace        : %s (%d shrink runs)"
+          % (counterexample["trace"], stats.shrink_runs))
+    for choice in counterexample["choices"]:
+        print("  [%d] %s -> %s"
+              % (choice["index"], choice["label"],
+                 choice["options"][choice["chosen"]]))
+    save_counterexample(args.out, counterexample)
+    print("saved        : %s (repro mc replay %s)" % (args.out, args.out))
+    _mc_counterexample_trace(
+        counterexample, args.out.rsplit(".", 1)[0] + ".trace.json"
+    )
+    if args.expect_violation:
+        return 0
+    return 1
+
+
+def _mc_replay(args: argparse.Namespace) -> int:
+    from .mc import load_counterexample, replay_counterexample
+
+    document = load_counterexample(args.file)
+    mutation = None if args.unmutated else "__from_document__"
+    scope, result = replay_counterexample(
+        document, mutation=mutation,
+        tracing=bool(args.trace_out), keep_cluster=bool(args.trace_out),
+    )
+    print("trace        : %s" % document["trace"])
+    print("mutation     : %s"
+          % ("(disabled)" if args.unmutated else document.get("mutation")))
+    print("outcomes     : %s" % result.outcomes)
+    print("sim time     : %.3f s" % result.sim_time)
+    for violation in result.violations:
+        print("violation    : %s" % violation)
+    if args.trace_out:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(result.cluster.obs.records(), args.trace_out)
+        print("chrome trace :", args.trace_out)
+    if args.unmutated:
+        # Fix-validation workflow: the same schedule against the real
+        # protocol must be green.
+        print("replay       : %s" % ("green" if result.green else "STILL RED"))
+        return 0 if result.green else 1
+    expected = document.get("violations", [])
+    if result.violations != expected:
+        print("REPLAY DIVERGED from the recorded violations:", file=sys.stderr)
+        print("  recorded: %s" % expected, file=sys.stderr)
+        print("  replayed: %s" % result.violations, file=sys.stderr)
+        return 1
+    print("replay       : reproduced %d violation(s) bit-for-bit"
+          % len(result.violations))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.mode == "smoke":
         if args.net_batch:
@@ -293,6 +439,7 @@ def _bench_baseline(args: argparse.Namespace) -> int:
     from .bench.baseline import (
         BASELINE_PATH,
         check_baseline,
+        format_baseline_deltas,
         load_baseline,
         run_baseline,
         write_baseline,
@@ -324,6 +471,10 @@ def _bench_baseline(args: argparse.Namespace) -> int:
         failures = check_baseline(
             document, reference, tolerance=args.tolerance
         )
+        print()
+        print(format_baseline_deltas(
+            document, reference, tolerance=args.tolerance
+        ))
         if args.out:
             write_baseline(document, args.out)
             print("\ncurrent numbers written to %s" % args.out)
@@ -684,6 +835,54 @@ def build_parser() -> argparse.ArgumentParser:
         "attacks", help="attack-detection demonstration"
     )
     attacks.set_defaults(func=cmd_attacks)
+
+    mc = subparsers.add_parser(
+        "mc",
+        help="model checker: exhaustive small-scope schedule search "
+             "(docs/MODELCHECK.md)",
+    )
+    mc.add_argument(
+        "mode", choices=["explore", "replay"],
+        help="explore: iterative-deepening search over crash/adversary "
+             "schedules; replay: re-execute a saved counterexample",
+    )
+    mc.add_argument(
+        "file", nargs="?", default=None,
+        help="replay mode: counterexample JSON written by explore",
+    )
+    mc.add_argument("--scope", default="2x3",
+                    help="explore: '<txns>x<nodes>' world size")
+    mc.add_argument("--depth", type=int, default=2,
+                    help="explore: max perturbations per schedule "
+                         "(iterative deepening 1..depth)")
+    mc.add_argument("--budget", default=None,
+                    help="explore: wall-clock budget, e.g. '60s'")
+    mc.add_argument("--max-runs", type=int, default=None,
+                    help="explore: stop after this many executed schedules")
+    mc.add_argument("--max-crashes", type=int, default=1,
+                    help="explore: crash injections per schedule")
+    mc.add_argument("--crash-offsets", default="0",
+                    help="explore: comma-separated victim offsets relative "
+                         "to the node emitting a crash point (0 = the "
+                         "emitter itself); '0,1,2' lets any node die at "
+                         "any point")
+    mc.add_argument("--mutate", default=None,
+                    help="explore: disable one recovery rule (its focused "
+                         "scope replaces --scope); the checker must find a "
+                         "counterexample")
+    mc.add_argument("--out", default="mc-counterexample.json",
+                    help="explore: where to write a found counterexample")
+    mc.add_argument("--expect-violation", action="store_true",
+                    help="explore: exit 0 iff a counterexample was found "
+                         "(CI mutation smoke)")
+    mc.add_argument("--quiet", action="store_true",
+                    help="explore: suppress progress lines")
+    mc.add_argument("--trace-out", default=None,
+                    help="replay: also write a Chrome trace of the replay")
+    mc.add_argument("--unmutated", action="store_true",
+                    help="replay: run the trace against the unmutated "
+                         "protocol (fix validation; exit 0 iff green)")
+    mc.set_defaults(func=cmd_mc)
     return parser
 
 

@@ -438,13 +438,26 @@ class TreatyNode:
         self.participant.active[txn_id] = txn
         return txn
 
-    def _resolution_message(self, msg_type: int, gid: GlobalTxnId) -> TxMessage:
-        op_id = (
+    def _resolution_op_id(self) -> int:
+        # The replay guard dedups on (node, txn, op) where node/txn name
+        # the *coordinator's* transaction — but resolution op ids are
+        # allocated by the *asking* node.  Two recovered participants at
+        # the same boot epoch asking about the same transaction would
+        # otherwise mint identical triples, and the coordinator would
+        # drop the second genuine query as a replay (leaving that
+        # participant's prepared half, and its locks, parked forever).
+        # Folding the asker's id into the op makes the triple unique.
+        return (
             _RESOLUTION_OP_BASE
+            | (self.numeric_id << 50)
             | (self.boot_count << 40)
             | next(self._resolution_ops)
         )
-        return TxMessage(msg_type, gid.node_id, gid.local_seq, op_id)
+
+    def _resolution_message(self, msg_type: int, gid: GlobalTxnId) -> TxMessage:
+        return TxMessage(
+            msg_type, gid.node_id, gid.local_seq, self._resolution_op_id()
+        )
 
     def _fence_peers(self) -> Gen:
         """Tell every peer this node's pre-crash epoch is dead.
@@ -472,9 +485,7 @@ class TreatyNode:
                             MsgType.TXN_FENCE,
                             self.numeric_id,
                             self.boot_count,
-                            _RESOLUTION_OP_BASE
-                            | (self.boot_count << 40)
-                            | next(self._resolution_ops),
+                            self._resolution_op_id(),
                         ),
                     )
                     for node in ordered
@@ -523,7 +534,12 @@ class TreatyNode:
                     continue
                 break
             commit = reply.body == b"commit"
-        self.participant.active.pop(txn_id, None)
+        if self.participant.active.pop(txn_id, None) is None:
+            # A coordinator redrive resolved this transaction while the
+            # query was in flight (the coordinator can recover and
+            # re-broadcast concurrently with our retries).  Whoever pops
+            # the active entry applies the outcome — exactly once.
+            return
         if commit:
             yield from txn.commit_prepared_async()
         else:

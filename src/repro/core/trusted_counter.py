@@ -297,7 +297,17 @@ class CounterClient:
 
     def _gate(self, log_name: str) -> Gate:
         if log_name not in self._gates:
-            self._gates[log_name] = Gate(self.runtime.sim)
+            gate = Gate(self.runtime.sim)
+            # A locally confirmed value is quorum-stable by construction
+            # (the source only confirms after a quorum of echoes), so the
+            # gate must never start below it.  This matters after a
+            # restart: the replica reloads sealed confirmed values, and a
+            # redriven round with a stale (lower) target would otherwise
+            # re-advertise a stable view this node already surpassed.
+            confirmed = self.replica.confirmed.get(log_name, 0)
+            if confirmed > 0:
+                gate.advance_to(confirmed)
+            self._gates[log_name] = gate
         return self._gates[log_name]
 
     def stable_value(self, log_name: str) -> int:

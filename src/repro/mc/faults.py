@@ -1,0 +1,95 @@
+"""Crash-point vocabulary and injection helpers.
+
+Shared between the randomized crash-conformance sweep
+(``tests/test_crash_conformance.py``) and the model checker: both crash
+nodes at *observable protocol steps* — trace events emitted by the 2PC
+and stabilization pipeline — rather than at arbitrary instruction
+boundaries, which is exactly the granularity at which the recovery
+rules are specified.
+
+The injectable points, in pipeline order:
+
+* ``twopc/prepare_target``  — prepare logged, piggybacked ACK about to
+  leave the participant (its counter target is *not* yet stable);
+* ``twopc/prepare_ack``     — legacy path: prepare stabilized, ACK sent;
+* ``stabilize/group_begin`` — the coordinator's group-wide echo round
+  is in flight (targets chosen, nothing stable yet);
+* ``twopc/decision``        — decision logged to the Clog, not stable;
+* ``twopc/commit_apply``    — a participant applied the commit;
+* ``stabilize/advance``     — a stable-counter gate moved.
+
+Crash model: :meth:`TreatyCluster.crash_node` detaches the node's NICs
+— nothing is sent or received afterwards (in-flight frames and zombie
+fibers' sends are dropped at the NIC identity check).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "SCENARIOS",
+    "CrashInjector",
+    "piggyback_crash_points",
+    "legacy_crash_points",
+]
+
+CrashPoint = Tuple[str, str]
+
+#: (trace event to crash on, twopc_piggyback flag).  prepare_target and
+#: group_begin only exist under piggybacking; prepare_ack only without.
+#: ORDER MATTERS: the conformance sweep maps ``seed % len(SCENARIOS)``
+#: onto this tuple, so reordering silently reshuffles every seed.
+SCENARIOS = (
+    (("twopc", "prepare_target"), True),
+    (("stabilize", "group_begin"), True),
+    (("twopc", "decision"), True),
+    (("twopc", "commit_apply"), True),
+    (("stabilize", "advance"), True),
+    (("twopc", "prepare_ack"), False),
+    (("twopc", "decision"), False),
+    (("twopc", "commit_apply"), False),
+)
+
+
+def piggyback_crash_points() -> Tuple[CrashPoint, ...]:
+    """Crash points applicable when ``twopc_piggyback`` is on."""
+    return tuple(point for point, piggyback in SCENARIOS if piggyback)
+
+
+def legacy_crash_points() -> Tuple[CrashPoint, ...]:
+    """Crash points applicable on the legacy (per-node rounds) path."""
+    return tuple(point for point, piggyback in SCENARIOS if not piggyback)
+
+
+class CrashInjector:
+    """Crash one node at the N-th occurrence of a trace event."""
+
+    def __init__(self, cluster, point, occurrence, victim_offset):
+        self.cluster = cluster
+        self.point = point
+        self.occurrence = occurrence
+        #: 0 crashes the node that emitted the event; 1/2 crash a
+        #: seeded bystander (same step, different failure domain).
+        self.victim_offset = victim_offset
+        self.seen = 0
+        self.crashed = None  # node index, once fired
+
+    def arm(self):
+        self.cluster.obs.tracer.subscribe(self._on_record)
+        return self
+
+    def _on_record(self, rec):
+        if self.crashed is not None or rec["type"] != "event":
+            return
+        if (rec["cat"], rec["name"]) != self.point:
+            return
+        emitter = rec.get("node") or ""
+        if not emitter.startswith("node"):
+            return
+        self.seen += 1
+        if self.seen != self.occurrence:
+            return
+        victim = (int(emitter[4:]) + self.victim_offset) % self.cluster.num_nodes
+        self.crashed = victim
+        self.cluster.crash_node(victim)

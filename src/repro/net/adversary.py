@@ -17,10 +17,17 @@ from typing import Callable, List, Optional, Tuple
 from ..sim.rng import SeededRng
 from .simnet import Frame
 
-__all__ = ["Verdict", "NetworkAdversary"]
+__all__ = ["Verdict", "NetworkAdversary", "ENUMERATED_DELAY"]
 
 Verdict = List[Tuple[Optional[Frame], float]]
 Rule = Callable[[Frame], Optional[Verdict]]
+
+#: Extra delay applied by the enumerated "delay" action.  Small enough to
+#: stay well under every protocol timeout (the tightest is the 50 ms
+#: counter round timeout) yet large enough to reorder a frame behind any
+#: same-instant traffic — which is the only distinction that matters to a
+#: schedule explorer.
+ENUMERATED_DELAY = 5e-4
 
 
 def _passthrough(frame: Frame) -> Verdict:
@@ -48,6 +55,39 @@ class NetworkAdversary:
             if verdict is not None:
                 return verdict
         return _passthrough(frame)
+
+    # -- enumerated actions (model-checker interface) ----------------------
+    def enumerate_actions(
+        self, frame: Frame, delay: float = ENUMERATED_DELAY
+    ) -> List[Tuple[str, Verdict]]:
+        """Deterministic, ordered set of single-frame moves for ``frame``.
+
+        Returns ``(name, verdict)`` pairs; ``deliver`` is always first so
+        a schedule explorer can treat index 0 as "no perturbation".  The
+        verdicts are fresh lists each call — callers may consume them.
+        """
+        return [
+            ("deliver", [(frame, 0.0)]),
+            ("drop", [(None, 0.0)]),
+            ("duplicate", [(frame, 0.0), (frame, 0.0)]),
+            ("delay", [(frame, delay)]),
+        ]
+
+    def apply_action(
+        self, name: str, frame: Frame, delay: float = ENUMERATED_DELAY
+    ) -> Verdict:
+        """Apply one enumerated action by name, updating attack counters."""
+        for action, verdict in self.enumerate_actions(frame, delay):
+            if action != name:
+                continue
+            if name == "drop":
+                self.dropped += 1
+            elif name == "duplicate":
+                self.duplicated += 1
+            elif name == "delay":
+                self.delayed += 1
+            return verdict
+        raise ValueError("unknown adversary action %r" % (name,))
 
     # -- canned attacks ----------------------------------------------------
     def drop_matching(self, predicate: Callable[[Frame], bool]) -> None:

@@ -148,7 +148,13 @@ class Fabric:
 
     def route(self, frame: Frame, propagation: float) -> None:
         """Move a frame toward its destination, adversary permitting."""
-        if self.adversary is not None:
+        chooser = self.sim.chooser
+        if chooser is not None:
+            # Controlled scheduler (model checker): it subsumes the
+            # adversary — the enumerated choice decides what happens to
+            # the frame, so a separately installed adversary is ignored.
+            verdicts = chooser.intercept_frame(frame)
+        elif self.adversary is not None:
             verdicts = self.adversary.intercept(frame)
             # The adversary is installed per-test, after cluster
             # construction — look the tracer up lazily rather than
@@ -171,8 +177,14 @@ class Fabric:
             self._schedule_delivery(out_frame, propagation + extra_delay)
 
     def _schedule_delivery(self, frame: Frame, delay: float) -> None:
+        chooser = self.sim.chooser
+        if chooser is not None:
+            chooser.frame_sent(frame)
+
         def deliver():
             yield self.sim.timeout(delay)
+            if chooser is not None:
+                chooser.frame_delivered(frame)
             destination = self._nics.get(frame.dst)
             if destination is None:
                 self.dropped_frames += 1

@@ -63,6 +63,16 @@ class InvariantMonitor:
         self.strict = strict
         #: I5 horizon in simulated seconds; ``None`` disables the check.
         self.liveness_timeout = liveness_timeout
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all observed protocol state (configuration is kept).
+
+        A monitor instance reused across sim runs in one process — the
+        model checker resets the world thousands of times — must start
+        each run blank: stale counter views or I5 obligations from a
+        previous world would otherwise surface as phantom violations.
+        """
         self.violations: List[str] = []
         self.events_seen = 0
         #: highest stable counter value observed per log name (the

@@ -336,6 +336,14 @@ class Simulator:
         #: cost of one identity check).
         self.tracer: Optional[Any] = None
         self.obs: Optional[Any] = None
+        #: controlled-scheduler hook (installed by repro.mc): consulted
+        #: at nondeterministic choice points — same-instant ready-entry
+        #: ties here, adversary actions and crash points elsewhere —
+        #: instead of leaving them to incidental scheduling order.  The
+        #: protocol is duck-typed: ``tie_window`` (int; <= 1 disables
+        #: tie picking) and ``pick_ready(count) -> index``.  None keeps
+        #: the simulator dependency-free.
+        self.chooser: Optional[Any] = None
         #: the process whose generator is currently being stepped (None
         #: between steps and for plain callbacks).  The tracer keys its
         #: per-fiber span stacks and inherited trace contexts off this.
@@ -385,7 +393,35 @@ class Simulator:
     # -- execution --------------------------------------------------------
     def step(self) -> None:
         """Process a single heap entry, advancing the clock if needed."""
-        when, _seq, kind, payload, ok, value = heapq.heappop(self._heap)
+        if self.chooser is not None and getattr(self.chooser, "tie_window", 0) > 1:
+            entry = self._pop_with_chooser()
+        else:
+            entry = heapq.heappop(self._heap)
+        self._execute(entry)
+
+    def _pop_with_chooser(self) -> Any:
+        """Let the controlled scheduler pick among same-instant heap heads.
+
+        Pops up to ``chooser.tie_window`` entries that share the head
+        timestamp, asks the chooser which to run, and pushes the rest
+        back with their original sequence numbers (so the residual order
+        is exactly the uncontrolled one).
+        """
+        window = self.chooser.tie_window
+        ties = [heapq.heappop(self._heap)]
+        while (len(ties) < window and self._heap
+               and self._heap[0][0] == ties[0][0]):
+            ties.append(heapq.heappop(self._heap))
+        if len(ties) == 1:
+            return ties[0]
+        index = self.chooser.pick_ready(len(ties))
+        chosen = ties.pop(index)
+        for entry in ties:
+            heapq.heappush(self._heap, entry)
+        return chosen
+
+    def _execute(self, entry: Any) -> None:
+        when, _seq, kind, payload, ok, value = entry
         self.now = when
         if kind == "call":
             payload()

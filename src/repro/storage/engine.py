@@ -539,8 +539,15 @@ class LSMEngine:
             referenced.add(self.wal.filename)
         for filename in self.disk.list_files(prefix=self.name + "/"):
             stem = filename.rsplit("/", 1)[1]
-            if filename not in referenced and not stem.startswith("clog"):
-                self.disk.delete(filename)
+            if filename in referenced or stem.startswith("clog"):
+                continue
+            if stem.endswith(".sealed"):
+                # Sealed enclave state (the counter replica's confirmed
+                # values) lives under the node prefix but is not LSM
+                # state: deleting it would roll the replica back to zero
+                # on its next boot.
+                continue
+            self.disk.delete(filename)
         return state, list(self.prepared_txns.keys())
 
     # -- statistics ----------------------------------------------------------------

@@ -47,23 +47,13 @@ import pytest
 from repro.config import ClusterConfig, TREATY_FULL
 from repro.core import TreatyCluster
 from repro.errors import TransactionAborted
+from repro.mc.faults import SCENARIOS, CrashInjector
 from repro.obs import write_chrome_trace
 from repro.sim.rng import SeededRng
 
-# -- crash scenarios -----------------------------------------------------------
-
-#: (trace event to crash on, twopc_piggyback flag).  prepare_target and
-#: group_begin only exist under piggybacking; prepare_ack only without.
-SCENARIOS = (
-    (("twopc", "prepare_target"), True),
-    (("stabilize", "group_begin"), True),
-    (("twopc", "decision"), True),
-    (("twopc", "commit_apply"), True),
-    (("stabilize", "advance"), True),
-    (("twopc", "prepare_ack"), False),
-    (("twopc", "decision"), False),
-    (("twopc", "commit_apply"), False),
-)
+# Crash scenarios and the injector live in repro.mc.faults now, shared
+# with the model checker so both use one fault vocabulary.  SCENARIOS
+# order is pinned there (seed % len(SCENARIOS) must keep its mapping).
 
 
 def _seed_list():
@@ -73,39 +63,6 @@ def _seed_list():
         start, stop = spec.split(":", 1)
         return list(range(int(start), int(stop)))
     return list(range(int(spec)))
-
-
-class CrashInjector:
-    """Crash one node at the N-th occurrence of a trace event."""
-
-    def __init__(self, cluster, point, occurrence, victim_offset):
-        self.cluster = cluster
-        self.point = point
-        self.occurrence = occurrence
-        #: 0 crashes the node that emitted the event; 1/2 crash a
-        #: seeded bystander (same step, different failure domain).
-        self.victim_offset = victim_offset
-        self.seen = 0
-        self.crashed = None  # node index, once fired
-
-    def arm(self):
-        self.cluster.obs.tracer.subscribe(self._on_record)
-        return self
-
-    def _on_record(self, rec):
-        if self.crashed is not None or rec["type"] != "event":
-            return
-        if (rec["cat"], rec["name"]) != self.point:
-            return
-        emitter = rec.get("node") or ""
-        if not emitter.startswith("node"):
-            return
-        self.seen += 1
-        if self.seen != self.occurrence:
-            return
-        victim = (int(emitter[4:]) + self.victim_offset) % self.cluster.num_nodes
-        self.crashed = victim
-        self.cluster.crash_node(victim)
 
 
 # -- workload ------------------------------------------------------------------

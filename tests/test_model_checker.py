@@ -1,0 +1,335 @@
+"""Tests for :mod:`repro.mc`, the small-scope model checker.
+
+Covers the four layers separately — adversary action enumeration, the
+controlled-scheduler harness (determinism, crash/drop semantics), the
+explorer (bounded exhaustive pass stays green, pruning works), and the
+end-to-end mutation workflow (a disabled recovery rule yields a
+minimized, replayable counterexample that is green once the rule is
+restored) — plus monitor reset/reuse across repeated sim runs and the
+crash-fault vocabulary shared with the conformance sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ClusterConfig, TREATY_FULL
+from repro.core import TreatyCluster
+from repro.mc import (
+    MUTATIONS,
+    SCENARIOS,
+    explore,
+    load_counterexample,
+    parse_scope,
+    piggyback_crash_points,
+    replay_counterexample,
+    run_one,
+    save_counterexample,
+    shrink_trace,
+)
+from repro.mc.harness import Scope, mutation_scope
+from repro.net.adversary import ENUMERATED_DELAY, NetworkAdversary
+from repro.obs.monitor import InvariantMonitor
+
+
+# -- adversary action enumeration ---------------------------------------------
+
+class TestEnumerateActions:
+    class _Frame:
+        src, dst, meta, payload = "node0.rpc", "node1.rpc", {}, b"x"
+
+    def test_deliver_first_and_order_pinned(self):
+        adversary = NetworkAdversary()
+        actions = adversary.enumerate_actions(self._Frame())
+        assert [name for name, _ in actions] == [
+            "deliver", "drop", "duplicate", "delay"
+        ]
+
+    def test_verdicts(self):
+        frame = self._Frame()
+        actions = dict(NetworkAdversary().enumerate_actions(frame))
+        assert actions["deliver"] == [(frame, 0.0)]
+        assert actions["drop"] == [(None, 0.0)]
+        assert actions["duplicate"] == [(frame, 0.0), (frame, 0.0)]
+        assert actions["delay"] == [(frame, ENUMERATED_DELAY)]
+
+    def test_enumeration_is_pure(self):
+        """Enumerating must not mutate counters; only apply_action does."""
+        adversary = NetworkAdversary()
+        adversary.enumerate_actions(self._Frame())
+        assert (adversary.dropped, adversary.duplicated,
+                adversary.delayed) == (0, 0, 0)
+
+    def test_apply_action_counts(self):
+        adversary = NetworkAdversary()
+        frame = self._Frame()
+        adversary.apply_action("drop", frame)
+        adversary.apply_action("duplicate", frame)
+        adversary.apply_action("delay", frame, 1e-3)
+        assert (adversary.dropped, adversary.duplicated,
+                adversary.delayed) == (1, 1, 1)
+
+    def test_apply_unknown_action_raises(self):
+        with pytest.raises(ValueError):
+            NetworkAdversary().apply_action("mangle", self._Frame())
+
+
+# -- the harness: one controlled run ------------------------------------------
+
+class TestRunOne:
+    def test_default_trace_is_green_and_commits(self):
+        result = run_one(Scope(), [])
+        assert result.green, result.violations
+        assert result.outcomes == ["committed", "committed"]
+        assert result.committed == 2
+        assert result.liveness_checked
+        assert result.points, "no choice points recorded"
+
+    def test_runs_are_deterministic(self):
+        """Same trace, fresh world: identical choice-point sequence."""
+        a = run_one(Scope(), [])
+        b = run_one(Scope(), [])
+        assert [p.label for p in a.points] == [p.label for p in b.points]
+        assert [p.time for p in a.points] == [p.time for p in b.points]
+        assert a.outcomes == b.outcomes
+
+    def test_drop_disables_liveness_but_keeps_safety(self):
+        result = run_one(Scope(), [1])  # drop the first eligible frame
+        assert result.drops == 1
+        assert not result.liveness_checked
+        assert result.green, result.violations
+
+    def test_crash_choice_crashes_and_recovers(self):
+        scope = Scope(actions=(), crash_points=piggyback_crash_points())
+        base = run_one(scope, [])
+        crash_index = next(
+            p.index for p in base.points if p.kind == "crash"
+        )
+        trace = [0] * crash_index + [1]
+        result = run_one(scope, trace)
+        assert len(result.crashes) == 1
+        assert result.green, result.violations
+        assert result.liveness_checked
+
+    def test_beyond_trace_choices_default_to_zero(self):
+        """A trace is a finite perturbation prefix: padding with zeros
+        changes nothing."""
+        a = run_one(Scope(), [])
+        b = run_one(Scope(), [0, 0, 0, 0])
+        assert [p.chosen for p in a.points] == [p.chosen for p in b.points]
+
+    def test_visited_cache_subsumes_sibling_runs(self):
+        visited = {}
+        first = run_one(Scope(), [], remaining_budget=2, visited=visited)
+        assert first.new_states > 0
+        again = run_one(Scope(), [], remaining_budget=1, visited=visited)
+        assert again.new_states == 0
+        assert again.suppressed > 0  # subsumed straight away
+
+
+# -- the explorer -------------------------------------------------------------
+
+class TestExplorer:
+    def test_bounded_pass_stays_green(self):
+        """A budget-bounded depth-2 slice of the real scope: no
+        violations, visited-state pruning engaged, stats coherent."""
+        stats, counterexample = explore(
+            parse_scope("2x3"), depth=2, max_runs=40
+        )
+        assert counterexample is None
+        assert stats.runs >= 40
+        assert stats.states > 100
+        assert stats.pruned_visited > 0
+        assert 0.0 < stats.prune_rate <= 1.0
+        assert stats.depth_exhausted.get(1) in (True, False)
+
+    def test_depth_one_crash_only_scope_exhausts(self):
+        scope = Scope(
+            actions=(),
+            crash_points=(("twopc", "prepare_target"),),
+        )
+        stats, counterexample = explore(scope, depth=1)
+        assert counterexample is None
+        assert stats.depth_exhausted[1] is True
+        # one root + one run per crash-point occurrence
+        assert stats.runs > 1
+
+
+# -- mutations: seeded bugs must be found, shrunk, and replayable -------------
+
+class TestMutationCounterexample:
+    @pytest.fixture(scope="class")
+    def found(self):
+        stats, counterexample = explore(
+            mutation_scope("no-abort-rebroadcast"),
+            depth=2, mutation="no-abort-rebroadcast",
+        )
+        return stats, counterexample
+
+    def test_counterexample_found_and_minimal(self, found):
+        stats, counterexample = found
+        assert counterexample is not None
+        assert stats.violation
+        # delta debugging leaves a single necessary perturbation: the
+        # coordinator crash at its own prepare point.
+        nonzeros = [c for c in counterexample["trace"] if c]
+        assert len(nonzeros) == 1
+        assert len(counterexample["choices"]) == 1
+        assert counterexample["choices"][0]["kind"] == "crash"
+
+    def test_mutated_replay_reproduces(self, found):
+        _stats, counterexample = found
+        _scope, result = replay_counterexample(counterexample)
+        assert result.violations == counterexample["violations"]
+
+    def test_unmutated_replay_is_green(self, found):
+        """The same schedule against the real protocol: the recovery
+        rule the mutation disabled is what makes it converge."""
+        _stats, counterexample = found
+        _scope, result = replay_counterexample(counterexample, mutation=None)
+        assert result.green, result.violations
+
+    def test_document_roundtrip(self, found, tmp_path):
+        _stats, counterexample = found
+        path = str(tmp_path / "ce.json")
+        save_counterexample(path, counterexample)
+        loaded = load_counterexample(path)
+        assert loaded == json.loads(json.dumps(counterexample))
+        _scope, result = replay_counterexample(loaded)
+        assert result.violations == counterexample["violations"]
+
+    def test_load_rejects_other_json(self, tmp_path):
+        path = str(tmp_path / "not-ce.json")
+        with open(path, "w") as fp:
+            json.dump({"format": "something-else"}, fp)
+        with pytest.raises(ValueError):
+            load_counterexample(path)
+
+    def test_every_mutation_has_a_focused_scope(self):
+        for name in MUTATIONS:
+            scope = mutation_scope(name)
+            assert isinstance(scope, Scope)
+        with pytest.raises(ValueError):
+            mutation_scope("no-such-mutation")
+
+    def test_second_mutation_is_caught(self):
+        """no-commit-redrive: coordinator dies between logging COMMIT
+        and broadcasting it; without the redrive, participants' prepared
+        halves stay in doubt."""
+        stats, counterexample = explore(
+            mutation_scope("no-commit-redrive"),
+            depth=1, mutation="no-commit-redrive",
+        )
+        assert counterexample is not None
+        assert any("in-doubt" in v or "quiescent" in v
+                   for v in counterexample["violations"])
+        _scope, result = replay_counterexample(counterexample, mutation=None)
+        assert result.green, result.violations
+
+    def test_shrink_requires_failing_trace(self):
+        with pytest.raises(ValueError):
+            shrink_trace(Scope(), [0, 0, 0])
+
+
+# -- real bugs the checker found: their schedules must stay green -------------
+
+class TestFoundBugsStayGreen:
+    """Minimal counterexamples of the four recovery bugs the exhaustive
+    2-crash pass found in this codebase (see docs/MODELCHECK.md).  Each
+    trace wedged or corrupted the cluster before its fix; replaying them
+    pins the fixes."""
+
+    SCOPE = parse_scope("2x3", crash_offsets=(0, 1, 2), max_crashes=2)
+
+    @pytest.mark.parametrize("name,trace", [
+        # I3 gate regression: stale redriven target re-advertised a
+        # stable view below the sealed confirmed value after a double
+        # reboot (fix: seed counter gates from sealed confirmed state).
+        ("gate-seeding", [0] * 7 + [1] + [0] * 38 + [1]),
+        # resolve/redrive race applied one commit twice (fix: popping
+        # the participant's active entry is the exactly-once guard).
+        ("resolve-redrive-race", [0] * 7 + [2] + [0] * 22 + [2]),
+        # replay-guard collision: two participants recovering at the
+        # same boot epoch asked the coordinator about the same txn with
+        # identical (node, txn, op) triples; the second genuine query
+        # was dropped as a replay (fix: fold the asker's id into op).
+        ("resolution-op-collision", [0] * 13 + [1] + [0] * 19 + [1]),
+        # recovery orphan GC deleted the counter replica's sealed state
+        # file, rolling confirmed counters to zero on the next boot
+        # (fix: exempt *.sealed from the orphan sweep).
+        ("sealed-state-gc", [0] * 32 + [1] + [0] * 19 + [1]),
+    ])
+    def test_counterexample_trace_is_green(self, name, trace):
+        result = run_one(self.SCOPE, trace)
+        assert result.green, (name, result.violations)
+
+
+# -- monitor reset / reuse ----------------------------------------------------
+
+class TestMonitorReuse:
+    def test_reset_clears_observed_state(self):
+        monitor = InvariantMonitor(strict=False, liveness_timeout=5.0)
+        monitor.on_record({
+            "type": "event", "cat": "stabilize", "name": "advance",
+            "t": 1.0, "node": "node0",
+            "args": {"log": "node0/wal-000001.log", "value": 7},
+        })
+        assert monitor.stable and monitor.events_seen == 1
+        monitor.reset()
+        assert monitor.events_seen == 0
+        assert not monitor.stable and not monitor.advance_views
+        assert monitor.green
+        # configuration survives a reset
+        assert monitor.liveness_timeout == 5.0
+        assert monitor.strict is False
+
+    def test_reset_drops_stale_counter_views(self):
+        """A fresh world's counters restart from 1; a monitor carrying
+        the previous world's views would flag a phantom I3 regression."""
+        monitor = InvariantMonitor(strict=True)
+        record = {
+            "type": "event", "cat": "stabilize", "name": "advance",
+            "t": 1.0, "node": "node0",
+            "args": {"log": "node0/wal-000001.log", "value": 5},
+        }
+        monitor.on_record(record)
+        monitor.reset()
+        low = dict(record, args={"log": "node0/wal-000001.log", "value": 1})
+        monitor.on_record(low)  # must NOT raise after the reset
+        assert monitor.green
+
+    def test_sequential_worlds_do_not_leak(self):
+        """Two full sim runs in one process: the second's monitor starts
+        blank and both end green (the model checker's reuse pattern)."""
+        summaries = []
+        for _ in range(2):
+            result = run_one(Scope(), [])
+            assert result.green, result.violations
+            summaries.append(result.monitor_summary)
+        assert summaries[0]["events_seen"] == summaries[1]["events_seen"]
+
+    def test_cluster_monitor_is_fresh_per_cluster(self):
+        config = ClusterConfig(seed=2022, num_nodes=3, monitor=True)
+        first = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        assert first.obs.monitor.green
+        second = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        assert second.obs.monitor.events_seen <= first.obs.monitor.events_seen
+
+
+# -- the shared crash-fault vocabulary ----------------------------------------
+
+class TestFaultsExtraction:
+    def test_scenario_order_is_pinned(self):
+        """The conformance sweep maps ``seed % len(SCENARIOS)`` to a
+        scenario, so the tuple's order and length are part of its
+        contract with recorded seeds."""
+        assert SCENARIOS[0] == (("twopc", "prepare_target"), True)
+        assert SCENARIOS[1] == (("stabilize", "group_begin"), True)
+        assert len(SCENARIOS) == 8
+
+    def test_piggyback_filter_subsets_scenarios(self):
+        points = piggyback_crash_points()
+        all_points = {point for point, _piggyback in SCENARIOS}
+        assert set(points) <= all_points
+        assert ("twopc", "prepare_target") in points
+        assert ("twopc", "prepare_ack") not in points
