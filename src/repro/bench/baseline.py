@@ -34,6 +34,8 @@ from .metrics import MetricsCollector
 
 __all__ = [
     "BASELINE_PATH",
+    "BASELINE_BACKEND",
+    "BASELINE_SHARDS",
     "GATED_METRICS",
     "run_baseline",
     "check_baseline",
@@ -63,15 +65,33 @@ GATED_METRICS = (
 DEFAULT_TOLERANCE = 0.25
 
 
+#: the backend/sharding the headline baseline is recorded under.  The
+#: per-cluster *default* stays ``counter-sync`` (conservative); the
+#: bench frontier runs the async coverage-promise backend over sharded
+#: counter groups — the configuration the ROADMAP's "counter off the
+#: critical path" gate targets.
+BASELINE_BACKEND = "counter-async"
+BASELINE_SHARDS = 4
+
+
 def run_baseline(
     num_clients: Optional[int] = None,
     duration: Optional[float] = None,
     seed: int = 11,
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """One traced YCSB run on TREATY_FULL; returns the baseline document."""
     num_clients = num_clients or 24
     duration = duration or (0.2 if bench_scale() == "quick" else 0.6)
-    config = ClusterConfig(tracing=True, seed=seed)
+    backend = backend or BASELINE_BACKEND
+    shards = shards if shards is not None else BASELINE_SHARDS
+    config = ClusterConfig(
+        tracing=True,
+        seed=seed,
+        rollback_backend=backend,
+        counter_shards=shards,
+    )
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     ycsb = YcsbConfig(read_proportion=0.5, num_keys=2_000)
     cluster.run(bulk_load(cluster, ycsb), name="load")
@@ -118,6 +138,8 @@ def run_baseline(
             "clients": num_clients,
             "duration_s": duration,
             "scale": bench_scale(),
+            "rollback_backend": backend,
+            "counter_shards": shards,
         },
         "metrics": {
             "throughput_tps": round(summary["throughput_tps"], 3),

@@ -325,7 +325,9 @@ def _mc_explore(args: argparse.Namespace) -> int:
             int(part) for part in args.crash_offsets.split(",") if part
         )
         scope = parse_scope(
-            args.scope, max_crashes=args.max_crashes, crash_offsets=offsets
+            args.scope, max_crashes=args.max_crashes, crash_offsets=offsets,
+            backend=args.backend,
+            shards=1 if args.backend == "counter-sync" else 2,
         )
 
     def progress(stats):
@@ -447,10 +449,14 @@ def _bench_baseline(args: argparse.Namespace) -> int:
     from .obs import format_phase_table
 
     document = run_baseline(
-        num_clients=args.clients, duration=args.duration
+        num_clients=args.clients, duration=args.duration,
+        backend=args.backend, shards=args.shards,
     )
     headline = document["metrics"]
     print("profile      :", document["meta"]["profile"])
+    print("backend      : %s (%d counter shards)"
+          % (document["meta"]["rollback_backend"],
+             document["meta"]["counter_shards"]))
     print("throughput   : %.0f tps" % headline["throughput_tps"])
     print("p99 latency  : %.3f ms" % headline["p99_commit_latency_ms"])
     print("committed    : %d   aborted: %d"
@@ -829,6 +835,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline mode with --check: allowed relative drift per "
              "gated metric",
     )
+    bench.add_argument(
+        "--backend", default=None,
+        choices=["counter-sync", "counter-async", "lcm"],
+        help="baseline mode: rollback-protection backend for the run "
+             "(default counter-async — the bench frontier; the "
+             "per-cluster default stays counter-sync)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None,
+        help="baseline mode: independent counter groups "
+             "(default 4 for the bench frontier)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     attacks = subparsers.add_parser(
@@ -870,6 +888,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="explore: disable one recovery rule (its focused "
                          "scope replaces --scope); the checker must find a "
                          "counterexample")
+    mc.add_argument("--backend", default="counter-sync",
+                    choices=["counter-sync", "counter-async", "lcm"],
+                    help="explore: rollback-protection backend for the "
+                         "bounded worlds (coverage backends run with 2 "
+                         "counter shards); ignored with --mutate")
     mc.add_argument("--out", default="mc-counterexample.json",
                     help="explore: where to write a found counterexample")
     mc.add_argument("--expect-violation", action="store_true",

@@ -267,6 +267,32 @@ class ClusterConfig:
     #: amortization).  False falls back to one round driver per log —
     #: the pre-pipeline baseline, kept for comparison benchmarks.
     counter_vectoring: bool = True
+    #: rollback-protection backend (repro.core.rollback):
+    #: ``"counter-sync"``  — every stabilization request drives (or joins)
+    #: a synchronous two-round echo-broadcast and waits for the quorum
+    #: CONFIRM (the original behaviour);
+    #: ``"counter-async"`` — *coverage promises*: per-shard background
+    #: drivers run batched rounds on their own cadence, waiters resolve
+    #: at the round's echo quorum (the value is then held in a quorum's
+    #: protected memory — the LCM argument), the CONFIRM leg completes in
+    #: the background, and a per-shard lease arms a sync fallback when
+    #: the driver is dead or partitioned;
+    #: ``"lcm"``           — Lightweight-Collective-Memory style single
+    #: round: the echo *is* the commit (replicas persist echoed values),
+    #: no CONFIRM leg at all.
+    rollback_backend: str = "counter-sync"
+    #: independent counter groups ("shards") keyed by log-name hash.
+    #: Each shard runs its own round pipeline, so disjoint logs stop
+    #: serializing through one quorum round.  1 = the original single
+    #: group.
+    counter_shards: int = 1
+    #: coverage-promise lease duration (counter-async/lcm): a successful
+    #: echo quorum renews the shard's lease; a waiter whose promise
+    #: outlives the lease runs one synchronous round itself.
+    counter_lease_s: float = 0.02
+    #: concurrent echo rounds in flight per shard (counter-async/lcm
+    #: driver pipelining); 1 serializes rounds like the sync driver.
+    counter_max_inflight: int = 4
     #: piggyback trusted-counter targets on 2PC messages: participants
     #: return their prepare-record target in the PREPARE-ACK instead of
     #: stabilizing it locally, and the coordinator folds every prepare

@@ -98,6 +98,7 @@ class TreatyNode:
         self.frontend: Optional[FrontEnd] = None
         self.counter_client: Optional[CounterClient] = None
         self.pipeline: Optional[DurabilityPipeline] = None
+        self.rollback = None  # Optional[RollbackProtection], set by _build
         self.stabilizer: Optional[Stabilizer] = None
         self.clog: Optional[SecureLog] = None
 
@@ -159,6 +160,11 @@ class TreatyNode:
         self.pipeline = DurabilityPipeline(
             self.runtime, self.counter_client, self.config
         )
+        # The rollback-protection backend (sync / coverage promises /
+        # LCM) is rebuilt on every boot: a recovered incarnation gets
+        # fresh per-shard drivers and leases while the crashed
+        # incarnation's zombie fibers die on their detached NIC.
+        self.rollback = self.pipeline.rollback
         self.stabilizer = self.pipeline.stabilizer
         if self.config.storage_engine == "null":
             from ..storage.nullengine import NullStorageEngine

@@ -45,6 +45,7 @@ from ..config import ClusterConfig
 from ..sim.core import Event
 from ..tee.runtime import NodeRuntime
 from ..txn.group_commit import GroupCommitter
+from .rollback import RollbackProtection, make_backend
 from .stabilization import Stabilizer
 from .trusted_counter import CounterClient
 
@@ -71,7 +72,15 @@ class DurabilityPipeline:
         self.runtime = runtime
         self.counter_client = counter_client
         self.config = config
-        self.stabilizer = Stabilizer(runtime, counter_client)
+        #: the rollback-protection backend (sync round / coverage
+        #: promises / LCM echo) every stabilization request routes
+        #: through — see :mod:`repro.core.rollback`.
+        self.rollback: Optional[RollbackProtection] = make_backend(
+            runtime, counter_client, config
+        )
+        self.stabilizer = Stabilizer(
+            runtime, counter_client, backend=self.rollback
+        )
         self.committer: Optional[GroupCommitter] = None
 
     @property
@@ -134,8 +143,10 @@ class DurabilityPipeline:
             "stabilize", "group_round", node=self.runtime.name or None,
             txn=txn, phase=phase, targets=len(targets),
         )
-        yield from self.stabilizer.many(targets)
-        span.close()
+        try:
+            yield from self.stabilizer.many(targets)
+        finally:
+            span.close()
         metrics = self.runtime.metrics
         metrics.counter("stabilize.group_rounds").inc()
         metrics.histogram(

@@ -1,0 +1,345 @@
+"""Pluggable rollback-protection backends (§VI, LCM).
+
+Treaty's stabilization contract is narrower than "every transaction runs
+its own counter round": an entry must be *covered* by a stable counter
+value before the client is acknowledged (acked ⇒ covered ⇒ stable before
+externalized).  How coverage is established is a backend decision, and
+Brandenburger et al.'s Lightweight Collective Memory (PAPERS.md) shows
+the same rollback/forking guarantee is reachable with a much cheaper
+echo-only scheme.  This module extracts that decision out of
+:class:`~repro.core.stabilization.Stabilizer` /
+:class:`~repro.core.trusted_counter.CounterClient` into a
+:class:`RollbackProtection` interface with three implementations,
+selected by ``ClusterConfig.rollback_backend``:
+
+``counter-sync``
+    The original behavior: the caller's fiber (or a driver it spawns)
+    runs the full two-leg echo-broadcast protocol — UPDATE/echo quorum,
+    then CONFIRM/ack quorum, then seal — and only then releases waiters.
+    Maximally conservative; the counter round sits on the commit
+    critical path.
+
+``counter-async``
+    *Coverage promises*: per-shard background driver fibers run batched
+    group rounds on their own cadence.  A transaction's
+    ``stabilize_many`` registers its targets and resolves as soon as
+    they are ≤ the shard's stable frontier as advanced by an outstanding
+    round — it never starts a round of its own.  Waiters release at
+    *echo quorum* (the values are then held in a quorum's protected
+    memory, which is the rollback-protection point for fail-stop +
+    rollback adversaries; recovery reads report echoed values under this
+    backend); the CONFIRM leg — which only freshens the replicas'
+    sealed state — completes in the background off the critical path.
+    Each successful round renews a per-shard *lease*; a promise that
+    outlives the lease (driver dead, shard partitioned) falls back to
+    exactly one synchronous round driven by the waiter itself.
+
+``lcm``
+    LCM-style echo broadcast: round 1 *is* the commit.  Replicas persist
+    the echoed values when they echo (``CounterReplica.echo_commit``),
+    so there is no CONFIRM leg at all — one broadcast, one quorum, one
+    seal per replica.  Coverage promises, leases and the sync fallback
+    work exactly as in ``counter-async``.
+
+Safety: all three backends advance the same per-log
+:class:`~repro.sim.sync.Gate` frontiers and fire the same
+``stabilize/advance`` trace events, which are the *only* stability
+source for the I1–I5 monitor and the model checker — so the coverage
+backends are checked end-to-end by the existing machinery.  The
+``ack-before-covered`` mc mutation (``repro mc explore --mutate
+ack-before-covered``) demonstrates the monitor catches a backend that
+acks without coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..config import ClusterConfig
+from ..errors import FreshnessError, NetworkError
+from ..sim.core import Event
+from ..sim.sync import Semaphore
+from ..tee.runtime import NodeRuntime
+from .trusted_counter import CounterClient, Target
+
+__all__ = [
+    "BACKENDS",
+    "RollbackProtection",
+    "CounterSyncBackend",
+    "CounterAsyncBackend",
+    "LcmBackend",
+    "make_backend",
+]
+
+Gen = Generator[Event, Any, Any]
+
+#: selectable values of ``ClusterConfig.rollback_backend``.
+BACKENDS = ("counter-sync", "counter-async", "lcm")
+
+
+class RollbackProtection:
+    """Interface: make ``(log, counter)`` targets rollback-protected.
+
+    Implementations share the :class:`CounterClient`'s per-log gates as
+    the stable frontier, so ``stable_value`` and the monitor's view are
+    backend-independent.
+    """
+
+    name = "abstract"
+
+    def __init__(self, runtime: NodeRuntime, client: CounterClient):
+        self.runtime = runtime
+        self.client = client
+        self.tracer = runtime.tracer
+
+    def stabilize(self, log_name: str, value: int) -> Gen:
+        """Block until ``log_name``'s counter is stable at >= ``value``."""
+        yield from self.stabilize_many([(log_name, value)])
+
+    def stabilize_many(self, targets: Sequence[Target]) -> Gen:
+        raise NotImplementedError
+
+    def stable_value(self, log_name: str) -> int:
+        return self.client.stable_value(log_name)
+
+
+class CounterSyncBackend(RollbackProtection):
+    """Today's behavior: callers drive (or join) a synchronous round and
+    wait out both protocol legs before being released."""
+
+    name = "counter-sync"
+
+    def stabilize(self, log_name: str, value: int) -> Gen:
+        yield from self.client.stabilize(log_name, value)
+
+    def stabilize_many(self, targets: Sequence[Target]) -> Gen:
+        yield from self.client.stabilize_many(targets)
+
+
+class CounterAsyncBackend(RollbackProtection):
+    """Coverage promises: background per-shard drivers, lease-gated waits.
+
+    Per shard, the backend keeps a persistent driver fiber woken by a
+    :class:`Semaphore` (no polling — the sim stays quiescent when idle).
+    The driver snapshots unclaimed pending targets, claims them, and
+    spawns up to ``counter_max_inflight`` concurrent protocol rounds —
+    pipelining removes the "wait for the previous round to finish"
+    pickup latency that serializes the sync driver.  Rounds release
+    waiters at echo quorum and renew the shard lease on success.
+
+    A waiter whose promise outlives ``max(lease_until, entry + lease)``
+    runs :meth:`CounterClient.drive_until_stable` itself — exactly one
+    synchronous fallback per expired promise — so a partitioned or dead
+    driver degrades to the sync backend's semantics instead of hanging.
+    """
+
+    name = "counter-async"
+    #: run the CONFIRM leg (in the background).  The LCM subclass drops it.
+    confirm = True
+    background_confirm = True
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        client: CounterClient,
+        config: ClusterConfig,
+    ):
+        super().__init__(runtime, client)
+        self.lease_s = config.counter_lease_s
+        self.max_inflight = max(1, config.counter_max_inflight)
+        shards = client.num_shards
+        #: test hook: park the drivers to force the lease-expiry path.
+        self.drivers_enabled = True
+        self._dead = False
+        self._wake = [Semaphore(runtime.sim) for _ in range(shards)]
+        self._round_done = [Semaphore(runtime.sim) for _ in range(shards)]
+        self._claimed: List[Dict[str, int]] = [{} for _ in range(shards)]
+        self._inflight = [0] * shards
+        #: per-shard lease expiry (sim time); renewed by each successful
+        #: round.  Together with the client's boot ``epoch`` this stamps
+        #: the shard's stable frontier: (epoch, lease_until, gates).
+        self.lease_until = [0.0] * shards
+        self.promises = 0
+        self.covered = 0
+        self.sync_fallbacks = 0
+        metrics = runtime.metrics
+        self._covered_metric = metrics.counter("counter.covered")
+        self._lease_renewals = metrics.counter("counter.lease.renewals")
+        self._lease_expiries = metrics.counter("counter.lease.expired")
+        metrics.probe("counter.sync_fallbacks", lambda: self.sync_fallbacks)
+        for shard in range(shards):
+            runtime.sim.process(
+                self._drive(shard), name="rollback-driver/%d" % shard
+            )
+
+    # -- the waiter side ----------------------------------------------------
+    def stabilize_many(self, targets: Sequence[Target]) -> Gen:
+        client = self.client
+        needed = [
+            (log_name, value)
+            for log_name, value in targets
+            if client._gate(log_name).value < value
+        ]
+        if not needed:
+            return
+        by_shard: Dict[int, List[Target]] = {}
+        for log_name, value in needed:
+            shard = client._register(log_name, value, spawn_driver=False)
+            by_shard.setdefault(shard, []).append((log_name, value))
+        self.promises += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "counter", "promise", node=client.replica.node_name,
+                epoch=client.epoch, shards=sorted(by_shard),
+                targets=len(needed),
+                logs=sorted(log for log, _ in needed),
+            )
+        for shard in by_shard:
+            self._wake[shard].release()
+        # Rounds for every shard are in flight now; awaiting them in
+        # shard order only affects when we *notice* coverage.
+        for shard in sorted(by_shard):
+            yield from self._await_coverage(shard, by_shard[shard])
+        self.covered += len(needed)
+        self._covered_metric.inc(len(needed))
+
+    def _await_coverage(self, shard: int, targets: List[Target]) -> Gen:
+        sim = self.runtime.sim
+        client = self.client
+        # A fresh promise gets a full lease of grace even if the shard
+        # has never run a round (lease_until still 0 at boot).
+        grace = sim.now + self.lease_s
+        while True:
+            waits = [
+                client._gate(log_name).wait_for(value)
+                for log_name, value in targets
+                if client._gate(log_name).value < value
+            ]
+            if not waits:
+                return
+            deadline = max(self.lease_until[shard], grace)
+            if sim.now >= deadline:
+                # The promise outlived the lease: the driver is dead,
+                # parked, or the shard quorum is unreachable.  Run
+                # exactly one synchronous fallback ourselves.
+                self._lease_expiries.inc()
+                self.sync_fallbacks += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "counter", "lease", node=client.replica.node_name,
+                        epoch=client.epoch, shard=shard, state="expired",
+                        targets=len(targets),
+                    )
+                yield from client.drive_until_stable(
+                    targets, shard=shard, confirm=self.confirm,
+                    release_at_echo=True,
+                    background_confirm=self.background_confirm,
+                )
+                return
+            yield sim.any_of(
+                [sim.all_of(waits), sim.timeout(deadline - sim.now)]
+            )
+
+    # -- the driver side ----------------------------------------------------
+    def _fresh_targets(self, shard: int) -> List[Target]:
+        claimed = self._claimed[shard]
+        return [
+            (log_name, value)
+            for log_name, value in self.client._pending_snapshot(shard)
+            if value > claimed.get(log_name, 0)
+        ]
+
+    def _drive(self, shard: int) -> Gen:
+        """Persistent driver fiber: claim fresh targets, pipeline rounds."""
+        sim = self.runtime.sim
+        while not self._dead:
+            if not self.drivers_enabled:
+                yield self._wake[shard].acquire()
+                continue
+            fresh = self._fresh_targets(shard)
+            if not fresh:
+                yield self._wake[shard].acquire()
+                continue
+            if self._inflight[shard] >= self.max_inflight:
+                yield self._round_done[shard].acquire()
+                continue
+            claimed = self._claimed[shard]
+            for log_name, value in fresh:
+                claimed[log_name] = max(claimed.get(log_name, 0), value)
+            self._inflight[shard] += 1
+            sim.process(
+                self._round(shard, fresh), name="rollback-round/%d" % shard
+            )
+
+    def _round(self, shard: int, targets: List[Target]) -> Gen:
+        client = self.client
+        failed = False
+        try:
+            yield from client._run_protocol(
+                targets, shard=shard, confirm=self.confirm,
+                release_at_echo=True,
+                background_confirm=self.background_confirm,
+            )
+        except FreshnessError:
+            # Quorum unreachable this round.  Back off before releasing
+            # the claim so redrives pace at the retry cadence; do NOT
+            # wake the driver — retries are pulled by new registrations
+            # or by a waiter's lease-expiry fallback, which bounds a
+            # partitioned shard's retry traffic.
+            failed = True
+            yield self.runtime.sim.timeout(client.retry_backoff)
+        except NetworkError:
+            # NIC detached: this node crashed and we are a zombie.  Stop
+            # driving — the recovered incarnation builds its own backend.
+            failed = True
+            self._dead = True
+        finally:
+            self._inflight[shard] -= 1
+            claimed = self._claimed[shard]
+            for log_name, value in targets:
+                if claimed.get(log_name, 0) <= value:
+                    claimed.pop(log_name, None)
+            self._round_done[shard].release()
+            if not failed:
+                self._renew_lease(shard)
+                # Pending may have been raised past our claim meanwhile.
+                self._wake[shard].release()
+
+    def _renew_lease(self, shard: int) -> None:
+        self.lease_until[shard] = self.runtime.sim.now + self.lease_s
+        self._lease_renewals.inc()
+
+
+class LcmBackend(CounterAsyncBackend):
+    """LCM-style echo broadcast: one leg, the echo is the commit.
+
+    Inherits the whole coverage-promise machinery; the only difference
+    is the round shape — no CONFIRM leg, replicas seal at echo time
+    (``CounterReplica.echo_commit``), the sender seals its own state
+    after the quorum.
+    """
+
+    name = "lcm"
+    confirm = False
+    background_confirm = False
+
+
+def make_backend(
+    runtime: NodeRuntime,
+    client: Optional[CounterClient],
+    config: ClusterConfig,
+) -> Optional[RollbackProtection]:
+    """Build the configured rollback-protection backend for one node."""
+    if client is None:
+        return None
+    name = config.rollback_backend
+    if name == "counter-sync":
+        return CounterSyncBackend(runtime, client)
+    if name == "counter-async":
+        return CounterAsyncBackend(runtime, client, config)
+    if name == "lcm":
+        return LcmBackend(runtime, client, config)
+    raise ValueError(
+        "unknown rollback_backend %r (expected one of %s)"
+        % (name, ", ".join(BACKENDS))
+    )

@@ -15,6 +15,7 @@ from typing import Any, Generator, Optional, Sequence, Tuple
 
 from ..sim.core import Event
 from ..tee.runtime import NodeRuntime
+from .rollback import RollbackProtection
 from .trusted_counter import CounterClient
 
 __all__ = ["Stabilizer"]
@@ -23,12 +24,22 @@ Gen = Generator[Event, Any, Any]
 
 
 class Stabilizer:
-    """Makes ``(log, counter)`` pairs rollback-protected via the counter
-    service; a no-op under profiles without stabilization."""
+    """Makes ``(log, counter)`` pairs rollback-protected via the
+    configured :class:`~repro.core.rollback.RollbackProtection` backend;
+    a no-op under profiles without stabilization."""
 
-    def __init__(self, runtime: NodeRuntime, counter_client: Optional[CounterClient]):
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        counter_client: Optional[CounterClient],
+        backend: Optional[RollbackProtection] = None,
+    ):
         self.runtime = runtime
         self.counter_client = counter_client
+        #: how stabilization is established (sync round, coverage
+        #: promise, LCM echo).  Callers that construct a bare Stabilizer
+        #: without a backend get the original synchronous client path.
+        self.backend = backend
         self.tracer = runtime.tracer
         self.waits = 0
         self.total_wait_time = 0.0
@@ -48,8 +59,15 @@ class Stabilizer:
             "stabilize", "wait", node=self.runtime.name or None,
             log=log_name, counter=counter,
         )
-        yield from self.counter_client.stabilize(log_name, counter)
-        span.close()
+        try:
+            if self.backend is not None:
+                yield from self.backend.stabilize(log_name, counter)
+            else:
+                yield from self.counter_client.stabilize(log_name, counter)
+        finally:
+            # A NetworkError out of a detached NIC (zombie fiber after a
+            # crash) must not leak the span.
+            span.close()
         self.waits += 1
         self.total_wait_time += self.runtime.now - start
         self.runtime.metrics.histogram("stabilize.wait_s").observe(
@@ -75,8 +93,13 @@ class Stabilizer:
             log=",".join(log for log, _ in targets),
             counter=max(counter for _, counter in targets),
         )
-        yield from self.counter_client.stabilize_many(targets)
-        span.close()
+        try:
+            if self.backend is not None:
+                yield from self.backend.stabilize_many(targets)
+            else:
+                yield from self.counter_client.stabilize_many(targets)
+        finally:
+            span.close()
         self.waits += 1
         self.total_wait_time += self.runtime.now - start
         self.runtime.metrics.histogram("stabilize.wait_s").observe(

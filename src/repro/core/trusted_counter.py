@@ -34,9 +34,10 @@ Implementation notes:
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from ..errors import FreshnessError
+from ..errors import FreshnessError, NetworkError
 from ..net.message import MsgType, TxMessage
 from ..net.secure_rpc import SecureRpc
 from ..sim.core import Event
@@ -53,6 +54,7 @@ __all__ = [
     "encode_counter_msg",
     "encode_counter_vector",
     "decode_counter_vector",
+    "shard_of",
 ]
 
 Gen = Generator[Event, Any, Any]
@@ -63,6 +65,18 @@ Target = Tuple[str, int]
 #: bucket edges for the ``stabilize.batch_size`` histogram (targets per
 #: vectored round).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def shard_of(log_name: str, num_shards: int) -> int:
+    """Route a log to its counter group by name hash.
+
+    The mapping must be deterministic and stable across restarts and
+    recovery — it depends only on the log's (globally unique) name and
+    the configured shard count, never on boot state.
+    """
+    if num_shards <= 1:
+        return 0
+    return zlib.crc32(log_name.encode()) % num_shards
 
 
 def encode_counter_msg(log_name: str, value: int) -> bytes:
@@ -110,6 +124,18 @@ class CounterReplica:
         self.node_name = node_name
         self.rng = rng or SeededRng(0, node_name, "counter-replica")
         self.tracer = runtime.tracer
+        backend = runtime.config.rollback_backend
+        #: async/lcm backends release waiters at echo quorum, so a
+        #: recovery read must report the freshest *echoed* value too —
+        #: an acked entry may be rollback-protected by echoes alone.
+        #: Safe: targets are registered only after the entry is durable
+        #: on the writer's disk, so an echoed value never exceeds an
+        #: honest writer's on-disk state, and reporting it can only make
+        #: the freshness check stricter.
+        self.report_echoed = backend != "counter-sync"
+        #: LCM mode: the echo *is* the commit — round 1 persists the
+        #: value, there is no CONFIRM leg.
+        self.echo_commit = backend == "lcm"
         #: tentative (echoed) and confirmed counter values per log.
         self.echoed: Dict[str, int] = {}
         self.confirmed: Dict[str, int] = {}
@@ -165,6 +191,21 @@ class CounterReplica:
             if value > self.echoed.get(log_name, 0):
                 self.echoed[log_name] = value
             echoes.append((log_name, self.echoed[log_name]))
+        if self.echo_commit:
+            # LCM mode: round 1 is the whole protocol.  Persist the
+            # echoed values so rollback protection survives a full-group
+            # restart, exactly as the CONFIRM leg's seal would.
+            advanced = False
+            for log_name, value in targets:
+                if value > self.confirmed.get(log_name, 0):
+                    self.confirmed[log_name] = value
+                    advanced = True
+                    self.tracer.event(
+                        "counter", "confirm", node=self.node_name,
+                        replica=self.node_name, log=log_name, value=value,
+                    )
+            if advanced:
+                yield from self.seal_state()
         return TxMessage(
             MsgType.ACK,
             message.node_id,
@@ -207,10 +248,22 @@ class CounterReplica:
         """Recovery: report the freshest values this replica knows."""
         yield from self.runtime.op_overhead()
         queried = decode_counter_vector(message.body)
-        values = [
-            (log_name, self.confirmed.get(log_name, 0))
-            for log_name, _ in queried
-        ]
+        if self.report_echoed:
+            values = [
+                (
+                    log_name,
+                    max(
+                        self.echoed.get(log_name, 0),
+                        self.confirmed.get(log_name, 0),
+                    ),
+                )
+                for log_name, _ in queried
+            ]
+        else:
+            values = [
+                (log_name, self.confirmed.get(log_name, 0))
+                for log_name, _ in queried
+            ]
         return TxMessage(
             MsgType.RECOVERY_REPLY,
             message.node_id,
@@ -275,17 +328,25 @@ class CounterClient:
         self.max_retries = config.counter_max_retries
         #: one driver for all logs (vectored) vs one driver per log.
         self.vectoring = config.counter_vectoring
+        #: independent counter groups, routed by log-name hash.  Each
+        #: shard keeps its own pending marks, round driver and trace
+        #: context, so disjoint logs stop serializing through one round.
+        self.num_shards = max(1, config.counter_shards)
         self._gates: Dict[str, Gate] = {}
-        self._pending_target: Dict[str, int] = {}
+        self._pending_target: List[Dict[str, int]] = [
+            {} for _ in range(self.num_shards)
+        ]
         #: per-log driver flags (legacy mode only).
         self._round_active: Dict[str, bool] = {}
-        #: unified driver flag (vectored mode only).
-        self._driver_active = False
+        #: per-shard driver flags (vectored mode only).
+        self._driver_active = [False] * self.num_shards
         #: trace context of the first registrant since the last round —
         #: the round span attaches there, so a transaction's counter
         #: round joins its cross-node DAG (shared rounds are attributed
         #: to the registrant that triggered them).
-        self._round_ctx: Optional[Tuple[Optional[str], int]] = None
+        self._round_ctx: List[Optional[Tuple[Optional[str], int]]] = [
+            None
+        ] * self.num_shards
         self._op_seq = 0
         self.rounds_executed = 0
         runtime.metrics.probe(
@@ -314,31 +375,46 @@ class CounterClient:
         """The highest value known stable (locally observed)."""
         return self._gate(log_name).value
 
+    def shard_of(self, log_name: str) -> int:
+        """The counter group that serves ``log_name``."""
+        return shard_of(log_name, self.num_shards)
+
     def _next_op(self) -> int:
         self._op_seq += 1
         return self._op_seq
 
     # -- stabilization ----------------------------------------------------------
-    def _register(self, log_name: str, value: int) -> None:
-        """Raise the pending high-water mark and ensure a driver runs."""
-        self._pending_target[log_name] = max(
-            self._pending_target.get(log_name, 0), value
-        )
-        if self.tracer.enabled and self._round_ctx is None:
+    def _register(
+        self, log_name: str, value: int, spawn_driver: bool = True
+    ) -> int:
+        """Raise the pending high-water mark; optionally ensure a driver.
+
+        Returns the target's shard.  ``spawn_driver=False`` is the
+        passive registration the async backends use: they run their own
+        per-shard driver fibers and only need the mark recorded.
+        """
+        shard = self.shard_of(log_name)
+        pending = self._pending_target[shard]
+        pending[log_name] = max(pending.get(log_name, 0), value)
+        if self.tracer.enabled and self._round_ctx[shard] is None:
             context = self.tracer.current_context()
             if context[0] is not None or context[1]:
-                self._round_ctx = context
+                self._round_ctx[shard] = context
+        if not spawn_driver:
+            return shard
         if self.vectoring:
-            if not self._driver_active:
-                self._driver_active = True
+            if not self._driver_active[shard]:
+                self._driver_active[shard] = True
                 self.runtime.sim.process(
-                    self._drive_vectored_rounds(), name="counter-se/vector"
+                    self._drive_vectored_rounds(shard),
+                    name="counter-se/vector.%d" % shard,
                 )
         elif not self._round_active.get(log_name):
             self._round_active[log_name] = True
             self.runtime.sim.process(
                 self._drive_rounds(log_name), name="counter-se/%s" % log_name
             )
+        return shard
 
     def stabilize(self, log_name: str, value: int) -> Gen:
         """Block until ``log_name``'s counter is stable at >= ``value``."""
@@ -367,12 +443,12 @@ class CounterClient:
             yield self.runtime.sim.all_of(waits)
 
     # -- round drivers ----------------------------------------------------------
-    def _pending_snapshot(self) -> List[Target]:
-        """Every log whose pending target is not yet stable, sorted for
-        deterministic wire payloads."""
+    def _pending_snapshot(self, shard: int = 0) -> List[Target]:
+        """Every log of ``shard`` whose pending target is not yet stable,
+        sorted for deterministic wire payloads."""
         return sorted(
             (log_name, target)
-            for log_name, target in self._pending_target.items()
+            for log_name, target in self._pending_target[shard].items()
             if target > self._gate(log_name).value
         )
 
@@ -388,16 +464,17 @@ class CounterClient:
                     log=log_name, value=value,
                 )
 
-    def _drive_vectored_rounds(self) -> Gen:
-        """The unified driver: one round covers every pending log."""
+    def _drive_vectored_rounds(self, shard: int = 0) -> Gen:
+        """The unified driver: one round covers every pending log of the
+        shard."""
         retries = 0
         try:
             while True:
-                targets = self._pending_snapshot()
+                targets = self._pending_snapshot(shard)
                 if not targets:
                     break
                 try:
-                    yield from self._run_protocol(targets)
+                    yield from self._run_protocol(targets, shard=shard)
                 except FreshnessError:
                     retries += 1
                     if retries > self.max_retries:
@@ -407,17 +484,21 @@ class CounterClient:
                 retries = 0
                 self._advance(targets)
         finally:
-            self._driver_active = False
+            self._driver_active[shard] = False
 
     def _drive_rounds(self, log_name: str) -> Gen:
         """Legacy per-log driver (``counter_vectoring=False`` baseline)."""
         gate = self._gate(log_name)
+        shard = self.shard_of(log_name)
+        pending = self._pending_target[shard]
         retries = 0
         try:
-            while self._pending_target.get(log_name, 0) > gate.value:
-                target = self._pending_target[log_name]
+            while pending.get(log_name, 0) > gate.value:
+                target = pending[log_name]
                 try:
-                    yield from self._run_protocol([(log_name, target)])
+                    yield from self._run_protocol(
+                        [(log_name, target)], shard=shard
+                    )
                 except FreshnessError:
                     retries += 1
                     if retries > self.max_retries:
@@ -432,8 +513,13 @@ class CounterClient:
     def _broadcast(self, msg_type: int, targets: Sequence[Target]) -> Gen:
         """Send one round to all peers; returns the number of ACKs.
 
-        Waits for every reply up to ``round_timeout`` — a crashed peer
-        must not wedge the round once the quorum has answered.
+        Returns as soon as the *quorum* has answered (the local replica
+        counts as one vote, so ``quorum - 1`` remote ACKs complete it):
+        the round's latency is the fastest quorum-completing peer, not
+        the slowest straggler.  Straggler echoes keep arriving in the
+        background and only freshen replica state.  If the quorum is
+        unreachable the wait falls back to every reply settling, bounded
+        by ``round_timeout`` — a crashed peer must not wedge the round.
         """
         body = encode_counter_vector(targets)
         # One broadcast enqueues every peer in the same instant, so each
@@ -457,7 +543,11 @@ class CounterClient:
         if events:
             yield self.runtime.sim.any_of(
                 [
-                    self.runtime.sim.all_settled(events),
+                    self.runtime.sim.quorum_of(
+                        events,
+                        max(0, self.quorum - acks),
+                        accept=lambda reply: reply.msg_type == MsgType.ACK,
+                    ),
                     self.runtime.sim.timeout(self.round_timeout),
                 ]
             )
@@ -468,15 +558,31 @@ class CounterClient:
                         acks += 1
         return acks
 
-    def _run_protocol(self, targets: Sequence[Target]) -> Gen:
-        """One echo-broadcast execution stabilizing a target vector."""
+    def _run_protocol(
+        self,
+        targets: Sequence[Target],
+        shard: int = 0,
+        confirm: bool = True,
+        release_at_echo: bool = False,
+        background_confirm: bool = False,
+    ) -> Gen:
+        """One echo-broadcast execution stabilizing a target vector.
+
+        ``release_at_echo`` advances the stable frontier as soon as the
+        echo quorum is reached — the value is then held in a quorum's
+        protected memory, which is the rollback-protection point the
+        async backends ack on.  ``background_confirm`` detaches the
+        CONFIRM leg into its own fiber so the caller (and the shard's
+        round pipeline) is not serialized behind it; ``confirm=False``
+        drops the leg entirely (LCM mode — the echo is the commit).
+        """
         self.rounds_executed += 1
         self._batch_hist.observe(len(targets))
         # Attach the round to the context captured at registration time
         # (falling back to the driver fiber's inherited context), so the
         # UPDATE/CONFIRM fan-out below — and the replicas' handler spans
         # on the other side of the wire — join that transaction's DAG.
-        context, self._round_ctx = self._round_ctx, None
+        context, self._round_ctx[shard] = self._round_ctx[shard], None
         if context is not None:
             span = self.tracer.span(
                 "counter", "round", node=self.replica.node_name,
@@ -487,6 +593,7 @@ class CounterClient:
                 "counter", "round", node=self.replica.node_name,
                 targets=len(targets),
             )
+        error = None
         try:
             # Round 1: update + echoes.
             self.replica.local_echo(targets)
@@ -496,19 +603,94 @@ class CounterClient:
                     "counter group unavailable: %d/%d echoes for %d targets"
                     % (acks, self.quorum, len(targets))
                 )
-            # Round 2: confirmation.
+            if release_at_echo:
+                # Echo quorum: the values sit in a quorum's protected
+                # memory — rollback-protected for fail-stop + rollback
+                # adversaries (recovery reads report echoed values under
+                # these backends).  Waiters release here.
+                self._advance(targets)
+            if not confirm:
+                # LCM mode: seal our own echoed state and stop.
+                yield from self.replica.local_confirm(targets)
+            elif background_confirm:
+                self.runtime.sim.process(
+                    self._confirm_leg(targets),
+                    name="counter-confirm/%d" % shard,
+                )
+            else:
+                yield from self._confirm_leg(targets, strict=True)
+        except FreshnessError:
+            error = "freshness"
+            raise
+        except NetworkError:
+            error = "network"
+            raise
+        finally:
+            # try/finally: a NetworkError out of a zombie driver's
+            # broadcast (NIC detached mid-round) must not leak the span.
+            if error:
+                span.close(error=error)
+            else:
+                span.close()
+
+    def _confirm_leg(self, targets: Sequence[Target], strict: bool = False) -> Gen:
+        """Round 2: confirmation + local seal.
+
+        ``strict`` raises on a missing quorum (the synchronous protocol);
+        otherwise a failed background confirm is dropped — the echo
+        quorum already rollback-protects the values, the CONFIRM only
+        freshens the replicas' sealed state.
+        """
+        try:
             acks = yield from self._broadcast(MsgType.COUNTER_CONFIRM, targets)
-            if acks < self.quorum:
+        except NetworkError:
+            if strict:
+                raise
+            return
+        if acks < self.quorum:
+            if strict:
                 raise FreshnessError(
                     "counter group unavailable: %d/%d confirms for %d targets"
                     % (acks, self.quorum, len(targets))
                 )
-            # Seal own state with the stabilized values (end of protocol).
-            yield from self.replica.local_confirm(targets)
-        except FreshnessError:
-            span.close(error="freshness")
-            raise
-        span.close()
+            return
+        # Seal own state with the stabilized values (end of protocol).
+        yield from self.replica.local_confirm(targets)
+
+    def drive_until_stable(
+        self,
+        targets: Sequence[Target],
+        shard: int = 0,
+        confirm: bool = True,
+        release_at_echo: bool = False,
+        background_confirm: bool = False,
+    ) -> Gen:
+        """Run protocol rounds (with freshness retries) until every
+        target is stable — the synchronous fallback the async backends
+        use when a coverage promise outlives its lease."""
+        retries = 0
+        while True:
+            remaining = [
+                (log_name, value)
+                for log_name, value in targets
+                if value > self._gate(log_name).value
+            ]
+            if not remaining:
+                return
+            try:
+                yield from self._run_protocol(
+                    remaining, shard=shard, confirm=confirm,
+                    release_at_echo=release_at_echo,
+                    background_confirm=background_confirm,
+                )
+            except FreshnessError:
+                retries += 1
+                if retries > self.max_retries:
+                    raise
+                yield self.runtime.sim.timeout(self.retry_backoff)
+                continue
+            retries = 0
+            self._advance(remaining)
 
     # -- recovery reads -------------------------------------------------------------
     def read_stable_many(self, log_names: Sequence[str]) -> Gen:

@@ -16,7 +16,11 @@ The injectable points, in pipeline order:
   is in flight (targets chosen, nothing stable yet);
 * ``twopc/decision``        — decision logged to the Clog, not stable;
 * ``twopc/commit_apply``    — a participant applied the commit;
-* ``stabilize/advance``     — a stable-counter gate moved.
+* ``stabilize/advance``     — a stable-counter gate moved;
+* ``counter/promise``       — a coverage promise was just registered
+  (async/lcm backends only: the waiter is parked on the lease, no round
+  of its own in flight — crashing here exercises "coordinator dies with
+  an unexpired coverage promise outstanding").
 
 Crash model: :meth:`TreatyCluster.crash_node` detaches the node's NICs
 — nothing is sent or received afterwards (in-flight frames and zombie
@@ -37,9 +41,13 @@ __all__ = [
 CrashPoint = Tuple[str, str]
 
 #: (trace event to crash on, twopc_piggyback flag).  prepare_target and
-#: group_begin only exist under piggybacking; prepare_ack only without.
+#: group_begin only exist under piggybacking; prepare_ack only without;
+#: counter/promise only fires under the coverage backends (a sweep run
+#: with ``counter-sync`` never sees it, so that scenario degrades to an
+#: uninjected baseline run there).
 #: ORDER MATTERS: the conformance sweep maps ``seed % len(SCENARIOS)``
-#: onto this tuple, so reordering silently reshuffles every seed.
+#: onto this tuple, so reordering silently reshuffles every seed — new
+#: points are appended, never inserted.
 SCENARIOS = (
     (("twopc", "prepare_target"), True),
     (("stabilize", "group_begin"), True),
@@ -49,6 +57,7 @@ SCENARIOS = (
     (("twopc", "prepare_ack"), False),
     (("twopc", "decision"), False),
     (("twopc", "commit_apply"), False),
+    (("counter", "promise"), True),
 )
 
 

@@ -74,6 +74,11 @@ class Scope:
     nodes: int = 3
     piggyback: bool = True
     seed: int = 2022
+    #: rollback-protection backend under test (``ClusterConfig.
+    #: rollback_backend``): "counter-sync", "counter-async" or "lcm".
+    backend: str = "counter-sync"
+    #: independent counter groups (``ClusterConfig.counter_shards``).
+    shards: int = 1
     #: adversary actions enumerable per eligible frame ("deliver" is
     #: always option 0 and not listed here).
     actions: Tuple[str, ...] = ("drop", "duplicate", "delay")
@@ -160,6 +165,28 @@ def _disable_method(name: str, doc: str):
     return patch
 
 
+def _disable_pipeline_method(name: str, doc: str):
+    @contextlib.contextmanager
+    def patch():
+        from ..core.pipeline import DurabilityPipeline
+
+        original = getattr(DurabilityPipeline, name)
+
+        def stub(self, *args, **kwargs):
+            if False:
+                yield
+
+        stub.__doc__ = doc
+        setattr(DurabilityPipeline, name, stub)
+        try:
+            yield
+        finally:
+            setattr(DurabilityPipeline, name, original)
+
+    patch.__doc__ = doc
+    return patch
+
+
 MUTATIONS = {
     # §VI: a recovering coordinator must re-broadcast decided aborts —
     # the pre-crash coordinator may have logged ABORT and died before
@@ -174,6 +201,16 @@ MUTATIONS = {
     # every participant's prepared half (and its locks) in doubt forever.
     "no-commit-redrive": _disable_method(
         "_redrive_commit", "mutation: decided commits are not re-driven"
+    ),
+    # §VI + coverage promises: a transaction must not be acknowledged
+    # before its targets are covered by a stable counter frontier
+    # (acked ⇒ covered ⇒ stable-before-externalized).  This stubs out
+    # the coordinator's group stabilization, so commits are externalized
+    # with no counter coverage at all — the monitor's I1/I2 checks must
+    # flag it without any adversary perturbation.
+    "ack-before-covered": _disable_pipeline_method(
+        "stabilize_group",
+        "mutation: transactions ack without lease coverage",
     ),
 }
 
@@ -198,6 +235,17 @@ def mutation_scope(name: str) -> Scope:
             actions=(),
             crash_points=(("twopc", "decision"),),
             max_crashes=1,
+        )
+    if name == "ack-before-covered":
+        # Acking without coverage violates I1/I2 on the very first
+        # unperturbed run — no adversary actions or crashes needed; the
+        # counterexample is the empty trace under the async backend.
+        return Scope(
+            actions=(),
+            crash_points=(),
+            max_crashes=0,
+            backend="counter-async",
+            shards=2,
         )
     if name in MUTATIONS:
         return Scope()
@@ -297,6 +345,8 @@ def _run_one(scope, trace, remaining_budget, visited, sleep0, crc_cache,
         tracing=tracing,
         monitor=True,
         twopc_piggyback=scope.piggyback,
+        rollback_backend=scope.backend,
+        counter_shards=scope.shards,
         monitor_liveness_timeout_s=scope.liveness_timeout,
     )
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()

@@ -32,6 +32,7 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "AllSettled",
+    "QuorumOf",
     "Simulator",
     "SimulationError",
 ]
@@ -318,6 +319,47 @@ class AllSettled(_ConditionEvent):
             self.succeed(self.events)
 
 
+class QuorumOf(_ConditionEvent):
+    """Triggers once ``needed`` inner events settle acceptably.
+
+    The vote-counting shape for fan-out rounds: the composite fires as
+    soon as ``needed`` inner events have settled ok *and* pass the
+    ``accept`` predicate (default: any ok settle counts), or — the
+    quorum-unreachable backstop — once every inner event has settled.
+    Like :class:`AllSettled`, a failed inner event never fails the
+    composite; it is defused and counts only toward the backstop.  The
+    composite's value is the inner event list; late stragglers keep
+    settling (and keep being defused) after the trigger.
+    """
+
+    __slots__ = ("needed", "accept", "_accepted")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        events: Iterable[Event],
+        needed: int,
+        accept: Optional[Callable[[Any], bool]] = None,
+    ):
+        self.needed = needed
+        self.accept = accept
+        self._accepted = 0
+        super().__init__(sim, events)
+        if not self._triggered and needed <= 0:
+            self.succeed(self.events)
+
+    def _check(self, event: Event) -> None:
+        if not event.ok:
+            event.defuse()
+        elif self.accept is None or self.accept(event.value):
+            self._accepted += 1
+        if self._triggered:
+            return
+        self._pending -= 1
+        if self._accepted >= self.needed or self._pending == 0:
+            self.succeed(self.events)
+
+
 class Simulator:
     """Owns the virtual clock and runs events in timestamp order.
 
@@ -377,6 +419,17 @@ class Simulator:
         value is the event list for per-event inspection.
         """
         return AllSettled(self, events)
+
+    def quorum_of(
+        self,
+        events: Iterable[Event],
+        needed: int,
+        accept: Optional[Callable[[Any], bool]] = None,
+    ) -> QuorumOf:
+        """Event that fires once ``needed`` of ``events`` settle with an
+        acceptable value (or every event has settled, whichever first).
+        """
+        return QuorumOf(self, events, needed, accept)
 
     # -- scheduling internals --------------------------------------------
     def _schedule_at(self, when: float, event: Event, ok: bool, value: Any) -> None:

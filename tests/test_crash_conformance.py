@@ -65,6 +65,29 @@ def _seed_list():
     return list(range(int(spec)))
 
 
+def _backend_list():
+    """Rollback-protection backends the sweep runs under.  CI narrows
+    this to one backend per matrix job with
+    ``CRASH_CONFORMANCE_BACKENDS=<name>[,<name>...]``."""
+    spec = os.environ.get(
+        "CRASH_CONFORMANCE_BACKENDS", "counter-sync,counter-async,lcm"
+    )
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def _backend_config(seed, backend, piggyback):
+    """Sweep config: the coverage backends also run sharded so the
+    sweep exercises per-shard frontiers and shard-aware recovery."""
+    return ClusterConfig(
+        seed=seed,
+        tracing=True,
+        monitor=True,
+        twopc_piggyback=piggyback,
+        rollback_backend=backend,
+        counter_shards=1 if backend == "counter-sync" else 2,
+    )
+
+
 # -- workload ------------------------------------------------------------------
 
 
@@ -108,20 +131,16 @@ def read_owner(cluster, key):
 # -- the sweep -----------------------------------------------------------------
 
 
+@pytest.mark.parametrize("backend", _backend_list())
 @pytest.mark.parametrize("seed", _seed_list())
-def test_crash_point_conformance(seed):
+def test_crash_point_conformance(seed, backend):
     point, piggyback = SCENARIOS[seed % len(SCENARIOS)]
     rng = SeededRng(seed, "crash-conformance")
     occurrence = rng.randint(1, 3)
     # Bias towards crashing the emitter; sometimes take down a bystander.
     victim_offset = rng.choice((0, 0, 0, 1, 2))
 
-    config = ClusterConfig(
-        seed=seed,
-        tracing=True,
-        monitor=True,
-        twopc_piggyback=piggyback,
-    )
+    config = _backend_config(seed, backend, piggyback)
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     try:
         _run_one_seed(cluster, rng, point, occurrence, victim_offset)
@@ -130,13 +149,14 @@ def test_crash_point_conformance(seed):
         if trace_dir:
             os.makedirs(trace_dir, exist_ok=True)
             records = cluster.obs.records()
+            stem = "seed-%03d-%s" % (seed, backend)
             write_chrome_trace(
                 records,
-                os.path.join(trace_dir, "seed-%03d.trace.json" % seed),
+                os.path.join(trace_dir, stem + ".trace.json"),
             )
             _export_critical_paths(
                 records,
-                os.path.join(trace_dir, "seed-%03d.critpath.txt" % seed),
+                os.path.join(trace_dir, stem + ".critpath.txt"),
             )
         raise
 
@@ -239,6 +259,41 @@ def _run_one_seed(cluster, rng, point, occurrence, victim_offset):
     assert any(outcome == "committed" for outcome in outcomes) or (
         injector.crashed is not None
     )
+
+
+# -- coverage promises under crashes ------------------------------------------
+
+
+class TestCoveragePromiseCrash:
+    """Coordinator crashes with an unexpired coverage promise
+    outstanding: the promise was registered (``counter/promise``), its
+    lease has not expired, no round of the waiter's own is in flight —
+    the canonical new failure mode of the async backends."""
+
+    @pytest.mark.parametrize("backend", ["counter-async", "lcm"])
+    def test_coordinator_crash_with_unexpired_promise(self, backend):
+        config = _backend_config(77, backend, piggyback=True)
+        cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        rng = SeededRng(77, "promise-crash")
+        # occurrence=1, offset=0: kill the emitter at its very first
+        # registered promise, well inside the lease window.
+        _run_one_seed(
+            cluster, rng, ("counter", "promise"),
+            occurrence=1, victim_offset=0,
+        )
+
+    @pytest.mark.parametrize("backend", ["counter-async", "lcm"])
+    def test_bystander_crash_leaves_promise_resolvable(self, backend):
+        """A *replica* (not the promise holder) dies while the promise
+        is outstanding: with quorum 2-of-3 the round must still cover
+        the targets without waiting for recovery."""
+        config = _backend_config(78, backend, piggyback=True)
+        cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+        rng = SeededRng(78, "promise-bystander")
+        _run_one_seed(
+            cluster, rng, ("counter", "promise"),
+            occurrence=1, victim_offset=1,
+        )
 
 
 # -- counter-round accounting: the tentpole's headline ------------------------

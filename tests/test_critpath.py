@@ -149,8 +149,11 @@ class TestCriticalPath:
         path = critical_path(
             cluster.obs.records(), committed_trace(cluster)
         )
-        for category in ("network", "counter", "group_commit"):
+        for category in ("network", "counter-round", "group_commit"):
             assert path.breakdown[category] > 0.0
+        # counter-wait can legitimately be zero-width under the sync
+        # backend (the round span exactly covers the wait interval), so
+        # only the round share is pinned positive here.
         assert set(path.breakdown) == set(CATEGORIES)
 
     def test_outcome_and_formatting(self):

@@ -230,6 +230,44 @@ class TestMutationCounterexample:
         with pytest.raises(ValueError):
             shrink_trace(Scope(), [0, 0, 0])
 
+    def test_ack_before_covered_is_caught(self):
+        """A backend that acks without lease coverage violates I1 on the
+        very first unperturbed run — the counterexample is the empty
+        trace under the counter-async backend."""
+        stats, counterexample = explore(
+            mutation_scope("ack-before-covered"),
+            depth=1, mutation="ack-before-covered",
+        )
+        assert counterexample is not None
+        assert not [c for c in counterexample["trace"] if c]
+        assert any("I1" in v or "I2" in v
+                   for v in counterexample["violations"])
+        _scope, result = replay_counterexample(counterexample, mutation=None)
+        assert result.green, result.violations
+
+
+# -- coverage backends under the bounded checker ------------------------------
+
+class TestBackendScopes:
+    """The unperturbed world (and a crashed one) must stay green under
+    every rollback-protection backend."""
+
+    @pytest.mark.parametrize("backend", ["counter-async", "lcm"])
+    def test_empty_trace_green(self, backend):
+        result = run_one(Scope(backend=backend, shards=2), [])
+        assert result.green, result.violations
+        assert result.outcomes.count("committed") >= 1
+
+    @pytest.mark.parametrize("backend", ["counter-async", "lcm"])
+    def test_single_crash_worlds_green(self, backend):
+        """First-choice crash world per backend: the coordinator dies at
+        its first eligible crash point with promises outstanding."""
+        scope = Scope(
+            backend=backend, shards=2, actions=(), max_crashes=1,
+        )
+        result = run_one(scope, [1])
+        assert result.green, result.violations
+
 
 # -- real bugs the checker found: their schedules must stay green -------------
 
@@ -325,7 +363,10 @@ class TestFaultsExtraction:
         contract with recorded seeds."""
         assert SCENARIOS[0] == (("twopc", "prepare_target"), True)
         assert SCENARIOS[1] == (("stabilize", "group_begin"), True)
-        assert len(SCENARIOS) == 8
+        # New points are appended, never inserted: counter/promise
+        # (coverage backends) rides at the end.
+        assert SCENARIOS[8] == (("counter", "promise"), True)
+        assert len(SCENARIOS) == 9
 
     def test_piggyback_filter_subsets_scenarios(self):
         points = piggyback_crash_points()
