@@ -324,10 +324,19 @@ def _mc_explore(args: argparse.Namespace) -> int:
         offsets = tuple(
             int(part) for part in args.crash_offsets.split(",") if part
         )
+        overrides = {}
+        if args.coordinator_only:
+            from .mc import coordinator_crash_points
+
+            overrides["actions"] = ()
+            overrides["crash_points"] = coordinator_crash_points()
+        if args.no_restart:
+            overrides["no_restart"] = True
         scope = parse_scope(
             args.scope, max_crashes=args.max_crashes, crash_offsets=offsets,
             backend=args.backend,
             shards=1 if args.backend == "counter-sync" else 2,
+            **overrides,
         )
 
     def progress(stats):
@@ -884,6 +893,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "to the node emitting a crash point (0 = the "
                          "emitter itself); '0,1,2' lets any node die at "
                          "any point")
+    mc.add_argument("--coordinator-only", action="store_true",
+                    help="explore: restrict crash points to the "
+                         "coordinator's decision path (adversary actions "
+                         "off) — the non-blocking-commit battery")
+    mc.add_argument("--no-restart", action="store_true",
+                    help="explore: crashed nodes stay dead; survivors must "
+                         "converge via the completer protocol")
     mc.add_argument("--mutate", default=None,
                     help="explore: disable one recovery rule (its focused "
                          "scope replaces --scope); the checker must find a "

@@ -303,6 +303,24 @@ class ClusterConfig:
     #: prepare before ACKing and the coordinator stabilizes only its
     #: decision entry.
     twopc_piggyback: bool = True
+    #: non-blocking commit (Fides/TFCommit-style transfer of commit): the
+    #: coordinator broadcasts its commit/abort decision record to every
+    #: participant in the same instant as the piggybacked group
+    #: stabilization round (transport batching seals both into one frame)
+    #: and waits for a majority quorum of acknowledgements *before*
+    #: answering the client.  A participant that holds a replicated
+    #: decision — or times out waiting on a dead coordinator — assumes
+    #: the completer role and drives COMMIT/abort application, fencing
+    #: and lock release for the whole group itself.  False restores the
+    #: classic blocking 2PC: participants stay in doubt until the
+    #: coordinator (or its recovery) resolves them.
+    commit_replication: bool = True
+    #: how long a prepared participant waits for the coordinator's
+    #: decision before starting completer takeover (plus a deterministic
+    #: per-node jitter so simultaneous timeouts de-synchronize).  Kept
+    #: above the prepare vote timeout so a slow-but-alive coordinator
+    #: never races its own participants.
+    decision_timeout_s: float = 3.0
     #: coalesce concurrent small messages to the same destination into
     #: one multi-message frame (eRPC TxBurst-style doorbell batching):
     #: one NIC/driver charge, one propagation and one header per batch,

@@ -38,12 +38,14 @@ from .cas import (
 from .client import FrontEnd
 from .ids import GlobalTxnId
 from .pipeline import DurabilityPipeline
+from .rollback import DecisionLedger
 from .stabilization import Stabilizer
 from .trusted_counter import CounterClient, CounterReplica, decode_counter_vector
 from .twopc import (
     RESOLUTION_RETRY_INTERVAL,
     ClogRecord,
     Coordinator,
+    DecisionRecord,
     GlobalTxn,
     Participant,
 )
@@ -100,6 +102,7 @@ class TreatyNode:
         self.pipeline: Optional[DurabilityPipeline] = None
         self.rollback = None  # Optional[RollbackProtection], set by _build
         self.stabilizer: Optional[Stabilizer] = None
+        self.ledger: Optional[DecisionLedger] = None
         self.clog: Optional[SecureLog] = None
 
     # -- attestation ----------------------------------------------------------
@@ -166,6 +169,13 @@ class TreatyNode:
         # incarnation's zombie fibers die on their detached NIC.
         self.rollback = self.pipeline.rollback
         self.stabilizer = self.pipeline.stabilizer
+        # Decision slots are enclave memory: volatile, rebuilt each
+        # boot.  A crash forgets them — the quorum of *surviving*
+        # holders is what keeps a replicated decision alive, the same
+        # trust shape as the counter protocol's echo memory.  Shared
+        # between the node's Coordinator and Participant roles so the
+        # coordinator's own slot counts toward the quorum.
+        self.ledger = DecisionLedger(self.config.num_nodes)
         if self.config.storage_engine == "null":
             from ..storage.nullengine import NullStorageEngine
 
@@ -201,9 +211,18 @@ class TreatyNode:
             self.stabilizer,
             epoch=self.boot_count,
             pipeline=self.pipeline,
+            ledger=self.ledger,
         )
         self.participant = Participant(
-            self.runtime, self.manager, self.cluster_rpc, self.stabilizer
+            self.runtime,
+            self.manager,
+            self.cluster_rpc,
+            self.stabilizer,
+            numeric_id=self.numeric_id,
+            addresses=self.addresses,
+            pipeline=self.pipeline,
+            ledger=self.ledger,
+            op_ids=self._resolution_op_id,
         )
         self.frontend = FrontEnd(
             self.runtime, self.coordinator, self.manager, self.front_rpc
@@ -240,8 +259,10 @@ class TreatyNode:
             elif record.kind == ClogRecord.COMMIT:
                 prepares.pop(key, None)
                 undone_commits[key] = record
-            else:  # ABORT
+            else:  # ABORT — may supersede an unacknowledged COMMIT
+                # whose decision quorum turned out unreachable.
                 prepares.pop(key, None)
+                undone_commits.pop(key, None)
 
         self._clog_seq += 1
         new_clog = SecureLog(
@@ -389,7 +410,21 @@ class TreatyNode:
                 if record.kind == ClogRecord.COMMIT:
                     incomplete_commits[key] = record
                 else:
+                    # An ABORT can supersede an earlier COMMIT whose
+                    # decision quorum proved unreachable (the later
+                    # entry wins; only the abort was ever observable).
+                    incomplete_commits.pop(key, None)
                     decided_aborts[key] = record
+
+        # Warm the fresh decision ledger with one vectored query burst
+        # before any resolve fiber runs: completer fallbacks then start
+        # from learned slots instead of cold query rounds.
+        if self.participant.replication and prepared_ids:
+            from .recovery import DecisionResolver
+
+            yield from DecisionResolver(self.participant).prefetch(
+                sorted(prepared_ids)
+            )
 
         # Re-adopt prepared participant-local transactions (§VI: "each
         # node will re-initialize all prepared Txs that are not yet
@@ -522,13 +557,29 @@ class TreatyNode:
         """Ask the coordinator how a recovered prepared txn was decided."""
         gid = GlobalTxnId.decode(txn_id)
         if gid.node_id == self.numeric_id:
+            if self.participant.replication:
+                # This node's own Clog decision is necessary but no
+                # longer sufficient: a COMMIT whose replication round
+                # never reached quorum may have been superseded by a
+                # completer abort quorum while this node was down.  The
+                # completer state machine re-derives the final outcome
+                # from the slot quorum (the redrive fiber re-confirms
+                # the decision and drives the group in parallel; the
+                # active-entry pop keeps the apply exactly-once).
+                yield from self.participant.complete(txn_id)
+                return
             decision, _, _ = self.coordinator.decisions.get(
                 txn_id, (ClogRecord.ABORT, 0, ())
             )
             commit = decision == ClogRecord.COMMIT
         else:
-            # The coordinator may itself be down; its answer is the only
-            # safe way to decide, so retry until it is reachable.
+            # The coordinator may itself be down.  Without decision
+            # replication its answer is the only safe way to decide, so
+            # retry until it is reachable; with replication a quorum of
+            # peers holds the decision, so once the decision timeout
+            # elapses hand the transaction to the completer state
+            # machine instead of blocking on a dead coordinator.
+            deadline = self.sim.now + self.config.decision_timeout_s
             while True:
                 try:
                     reply = yield from self.cluster_rpc.call(
@@ -536,6 +587,12 @@ class TreatyNode:
                         self._resolution_message(MsgType.TXN_RESOLVE, gid),
                     )
                 except NetworkError:
+                    if (
+                        self.participant.replication
+                        and self.sim.now >= deadline
+                    ):
+                        yield from self.participant.complete(txn_id)
+                        return
                     yield self.sim.timeout(RESOLUTION_RETRY_INTERVAL)
                     continue
                 break
@@ -587,8 +644,41 @@ class TreatyNode:
         the pre-crash coordinator collected but never saw stabilized
         (a participant may hold its matching prepare record in *its*
         unstable WAL suffix, waiting on exactly this round).
+
+        Under decision replication the redrive first *re-confirms* the
+        decision quorum: while this coordinator was down a completer
+        abort quorum may have formed (a COMMIT entry whose replication
+        round never reached quorum is unobservable — no client saw it
+        succeed), in which case the cluster already converged on abort
+        and the redrive logs a superseding ABORT and follows.
         """
-        if self.profile.stabilization:
+        if self.coordinator.replication:
+            key = record.gid.encode()
+            _kind, counter, targets = self.coordinator.decisions.get(
+                key,
+                (ClogRecord.COMMIT, self.clog.last_counter,
+                 tuple(record.targets)),
+            )
+            decision = DecisionRecord(
+                ClogRecord.COMMIT, record.gid, list(record.participants),
+                list(targets), self.clog.log_name, counter,
+                self.numeric_id,
+            )
+            replicated = yield from self.coordinator._replicate_decision(
+                decision, key.hex(), phase="redrive"
+            )
+            if not replicated:
+                superseded = yield from self.coordinator.log_clog(
+                    ClogRecord(
+                        ClogRecord.ABORT, record.gid, record.participants
+                    )
+                )
+                self.stabilizer.background(self.clog.log_name, superseded)
+                yield from self._broadcast_resolution(
+                    MsgType.TXN_ABORT, record
+                )
+                return
+        elif self.profile.stabilization:
             if record.targets and self.pipeline is not None:
                 yield from self.pipeline.stabilize_group(
                     list(record.targets)

@@ -153,6 +153,28 @@ class DurabilityPipeline:
             "stabilize.group_size", edges=(1, 2, 4, 8, 16, 32)
         ).observe(len(targets))
 
+    def decision_round(
+        self,
+        targets: Sequence[Tuple[str, int]],
+        txn: Optional[str] = None,
+        phase: str = "decision",
+        enqueue=None,
+    ) -> Gen:
+        """One group round that doubles as decision replication.
+
+        ``enqueue`` (if given) is called synchronously *before* the
+        counter round's first frames are enqueued, so the transport's
+        doorbell window coalesces the DECISION_RECORD broadcast and the
+        round's COUNTER frames to each peer into the same sealed frames
+        — replicating the decision adds no frames on an idle window.
+        Returns whatever ``enqueue`` returned (the broadcast events);
+        the stabilization itself still covers ``targets`` exactly as
+        :meth:`stabilize_group` would.
+        """
+        events = enqueue() if enqueue is not None else None
+        yield from self.stabilize_group(targets, txn=txn, phase=phase)
+        return events
+
     def background(self, log_name: str, counter: int) -> None:
         """Fire-and-forget stabilization (commit records, GC edits)."""
         self.stabilizer.background(log_name, counter)

@@ -12,14 +12,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
+from ..net.message import MsgType, TxMessage
 from ..sim.core import Event
 from ..storage.disk import DiskSnapshot
 from .cluster import TreatyCluster
+from .ids import GlobalTxnId
 from .node import TreatyNode
 from .trusted_counter import CounterClient
+from .twopc import RESOLUTION_RETRY_INTERVAL, DecisionRecord
 
 __all__ = [
     "StableCounterResolver",
+    "DecisionResolver",
     "crash_and_recover",
     "rollback_attack",
     "tamper_attack",
@@ -89,6 +93,69 @@ class StableCounterResolver:
         if log_name not in self._cache:
             yield from self.prefetch([log_name])
         return self._cache[log_name]
+
+
+class DecisionResolver:
+    """Warm a recovering node's decision ledger in one vectored burst.
+
+    Recovery re-adopts every prepared transaction half and spawns one
+    resolve fiber each; under ``commit_replication`` a fiber whose
+    coordinator stays unreachable falls back to the completer state
+    machine, which opens with a decision-query round of its own.  This
+    resolver front-loads that work: one DECISION_QUERY per (peer,
+    in-doubt transaction), all enqueued in the same instant so the
+    transport's doorbell window coalesces them into one sealed frame
+    per peer — the decision-ledger analogue of
+    :class:`StableCounterResolver`'s vectored quorum read.  Every
+    answered record lands in the node's write-once ledger, so resolve
+    fibers and completer takeovers start from warmed slots.
+    """
+
+    def __init__(self, participant):
+        self.participant = participant
+        #: decision records actually learned (for tests/metrics).
+        self.warmed = 0
+
+    def prefetch(self, txn_ids: Sequence[bytes]) -> Gen:
+        part = self.participant
+        if not part.replication or not txn_ids:
+            return
+        sim = part.runtime.sim
+        queries: List[bytes] = []
+        pairs = []
+        for txn_id in txn_ids:
+            gid = GlobalTxnId.decode(txn_id)
+            for node in sorted(part.addresses):
+                if node == part.numeric_id:
+                    continue
+                queries.append(txn_id)
+                pairs.append(
+                    (
+                        part.addresses[node],
+                        TxMessage(
+                            MsgType.DECISION_QUERY, gid.node_id,
+                            gid.local_seq, part.op_ids(),
+                        ),
+                    )
+                )
+        events = part.rpc.broadcast(pairs)
+        # Down peers fail fast; bound the round so one slow straggler
+        # cannot stall the whole recovery pass.
+        yield sim.any_of(
+            [
+                sim.all_settled(list(events)),
+                sim.timeout(RESOLUTION_RETRY_INTERVAL),
+            ]
+        )
+        for txn_id, event in zip(queries, events):
+            if not (event.triggered and event.ok):
+                continue
+            body = getattr(event.value, "body", b"")
+            if not body:
+                continue
+            record = DecisionRecord.decode(body)
+            if part.ledger.record(txn_id, record) is record:
+                self.warmed += 1
 
 
 def crash_and_recover(cluster: TreatyCluster, index: int) -> Gen:

@@ -68,6 +68,7 @@ __all__ = [
     "CounterSyncBackend",
     "CounterAsyncBackend",
     "LcmBackend",
+    "DecisionLedger",
     "make_backend",
 ]
 
@@ -322,6 +323,65 @@ class LcmBackend(CounterAsyncBackend):
     name = "lcm"
     confirm = False
     background_confirm = False
+
+
+class DecisionLedger:
+    """Write-once per-transaction decision slots (``commit_replication``).
+
+    The non-blocking commit extension replicates the coordinator's
+    commit/abort decision across the cluster before the client is
+    acknowledged; this ledger is one node's slot store.  Slots live in
+    the enclave's protected memory — the same trust model as the counter
+    replicas' echo memory: a value held by a quorum of live enclaves is
+    rollback-protected, and the coordinator's own slot is additionally
+    durable through its Clog entry.
+
+    Slots are *write-once*: the first record for a transaction wins and
+    every later write of a conflicting kind is rejected (the caller
+    learns the stored record instead).  Because slots never change, the
+    quorum conditions below are monotone — once a kind reaches its
+    quorum it stays there, and every evaluator converges on the same
+    outcome:
+
+    * **commit is final** once ``commit_quorum`` (a majority) of slots
+      hold a COMMIT record — only then may the client be acknowledged;
+    * **abort is final** once ``abort_quorum`` slots hold ABORT: that
+      many conflicting slots make the commit quorum arithmetically
+      unreachable, and presumed abort makes aborting safe for any
+      transaction that was never acknowledged.
+
+    The two thresholds overlap (``commit_quorum + abort_quorum = n + 1``),
+    so at most one outcome can ever become final.
+    """
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        #: gid bytes -> decision record (duck-typed: anything with a
+        #: ``.kind`` attribute; :class:`~repro.core.twopc.DecisionRecord`).
+        self.slots: Dict[bytes, Any] = {}
+        #: slots written by a remote record (metric feed).
+        self.replicated = 0
+
+    @property
+    def commit_quorum(self) -> int:
+        """Majority of all nodes (the coordinator's slot counts)."""
+        return self.num_nodes // 2 + 1
+
+    @property
+    def abort_quorum(self) -> int:
+        """Enough conflicting slots to make commit unreachable."""
+        return self.num_nodes - self.commit_quorum + 1
+
+    def record(self, gid_bytes: bytes, record) -> Any:
+        """Write-once store; returns the record the slot holds now."""
+        existing = self.slots.get(gid_bytes)
+        if existing is not None:
+            return existing
+        self.slots[gid_bytes] = record
+        return record
+
+    def get(self, gid_bytes: bytes):
+        return self.slots.get(gid_bytes)
 
 
 def make_backend(

@@ -21,6 +21,7 @@ fast path (§V-B) — no Clog, no 2PC rounds.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..errors import (
@@ -31,6 +32,7 @@ from ..errors import (
 from ..net.message import MsgType, TxMessage
 from ..net.secure_rpc import SecureRpc
 from ..sim.core import Event
+from ..sim.rng import SeededRng
 from ..storage.format import Reader, Writer
 from ..storage.log import SecureLog
 from ..tee.runtime import NodeRuntime
@@ -38,9 +40,16 @@ from ..txn.manager import TransactionManager
 from ..txn.pessimistic import PessimisticTxn
 from ..txn.types import TxnStatus
 from .ids import EPOCH_SHIFT, GlobalTxnId, TxnIdAllocator
+from .rollback import DecisionLedger
 from .trusted_counter import decode_counter_vector, encode_counter_vector
 
-__all__ = ["ClogRecord", "Participant", "Coordinator", "GlobalTxn"]
+__all__ = [
+    "ClogRecord",
+    "DecisionRecord",
+    "Participant",
+    "Coordinator",
+    "GlobalTxn",
+]
 
 Gen = Generator[Event, Any, Any]
 
@@ -175,6 +184,76 @@ class ClogRecord:
         return cls(kind, gid, participants, targets)
 
 
+class DecisionRecord:
+    """The replicated commit/abort decision (non-blocking commit).
+
+    Body of ``DECISION_RECORD`` broadcasts and ``DECISION_QUERY``
+    replies.  Unlike a :class:`ClogRecord` it also names the
+    coordinator and the decision entry's own ``(log, counter)`` target,
+    so any completer can rollback-protect the whole group — every
+    prepare record plus the decision entry — before acting on it, even
+    with the coordinator dead.
+    """
+
+    def __init__(
+        self,
+        kind: int,
+        gid: GlobalTxnId,
+        participants: List[int],
+        targets: Optional[List[Tuple[str, int]]],
+        log_name: str,
+        counter: int,
+        coordinator: int,
+    ):
+        self.kind = kind
+        self.gid = gid
+        self.participants = list(participants)
+        #: the group's prepare-record (log, counter) pairs, copied from
+        #: the Clog decision entry.
+        self.targets: List[Tuple[str, int]] = list(targets or [])
+        #: the coordinator Clog holding the decision entry, plus the
+        #: entry's counter (0 for synthetic slots written on a plain
+        #: COMMIT/ABORT instruction, whose stability the instruction's
+        #: sender already guaranteed).
+        self.log_name = log_name
+        self.counter = counter
+        self.coordinator = coordinator
+
+    def encode(self) -> bytes:
+        writer = (
+            Writer()
+            .u32(self.kind)
+            .blob(self.gid.encode())
+            .u64(self.coordinator)
+            .blob(self.log_name.encode())
+            .u64(self.counter)
+        )
+        writer.u32(len(self.participants))
+        for node in self.participants:
+            writer.u64(node)
+        writer.u32(len(self.targets))
+        for log_name, counter in self.targets:
+            writer.blob(log_name.encode()).u64(counter)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DecisionRecord":
+        reader = Reader(data)
+        kind = reader.u32()
+        gid = GlobalTxnId.decode(reader.blob())
+        coordinator = reader.u64()
+        log_name = reader.blob().decode()
+        counter = reader.u64()
+        participants = [reader.u64() for _ in range(reader.u32())]
+        targets = [
+            (reader.blob().decode(), reader.u64())
+            for _ in range(reader.u32())
+        ]
+        return cls(
+            kind, gid, participants, targets, log_name, counter, coordinator
+        )
+
+
 class Participant:
     """The participant role: executes remote operations for coordinators."""
 
@@ -184,6 +263,11 @@ class Participant:
         manager: TransactionManager,
         rpc: SecureRpc,
         stabilize: Stabilize,
+        numeric_id: int = 0,
+        addresses: Optional[Dict[int, str]] = None,
+        pipeline=None,
+        ledger: Optional[DecisionLedger] = None,
+        op_ids: Optional[Callable[[], int]] = None,
     ):
         self.runtime = runtime
         self.manager = manager
@@ -191,10 +275,32 @@ class Participant:
         self.stabilize = stabilize
         self.tracer = runtime.tracer
         self.node = runtime.name or None
+        self.numeric_id = numeric_id
+        self.addresses = addresses
+        #: the node's DurabilityPipeline; completers use it to
+        #: rollback-protect a replicated decision's targets pre-apply.
+        self.pipeline = pipeline
+        #: write-once decision slots (non-blocking commit).
+        self.ledger = ledger or DecisionLedger(runtime.config.num_nodes)
+        #: mint cluster-unique operation ids for completer-driven
+        #: instructions — the same asker-folded scheme the recovery
+        #: resolution path uses, so two racing completers never collide
+        #: in a peer's replay guard.
+        if op_ids is None:
+            fallback = itertools.count(1)
+            op_ids = lambda: (1 << 58) | (numeric_id << 50) | next(fallback)  # noqa: E731
+        self.op_ids = op_ids
+        #: deterministic jitter de-synchronizing simultaneous watchdogs.
+        self._rng = SeededRng(
+            runtime.config.seed, runtime.name or "participant",
+            "completer-watchdog",
+        )
         #: participant-local halves of distributed transactions.
         self.active: Dict[bytes, PessimisticTxn] = {}
         self.prepares_served = 0
         self.commits_served = 0
+        #: completer takeovers this incarnation performed.
+        self.takeovers = 0
         rpc.register(MsgType.TXN_READ, self._on_read)
         rpc.register(MsgType.TXN_WRITE, self._on_write)
         rpc.register(MsgType.TXN_SCAN, self._on_scan)
@@ -202,6 +308,16 @@ class Participant:
         rpc.register(MsgType.TXN_COMMIT, self._on_commit)
         rpc.register(MsgType.TXN_ABORT, self._on_abort)
         rpc.register(MsgType.TXN_FENCE, self._on_fence)
+        rpc.register(MsgType.DECISION_RECORD, self._on_decision_record)
+        rpc.register(MsgType.DECISION_QUERY, self._on_decision_query)
+
+    @property
+    def replication(self) -> bool:
+        """Whether the non-blocking completion protocol is active."""
+        return (
+            self.runtime.config.commit_replication
+            and self.addresses is not None
+        )
 
     # -- helpers ------------------------------------------------------------
     def _txn_for(self, message: TxMessage) -> PessimisticTxn:
@@ -211,6 +327,11 @@ class Participant:
         if txn is None:
             txn = self.manager.begin_pessimistic(txn_id=key)
             self.active[key] = txn
+            if self.replication:
+                self.runtime.sim.process(
+                    self._orphan_fuse(key),
+                    name="orphan-fuse@%s" % (self.node or "?"),
+                )
         return txn
 
     @staticmethod
@@ -291,6 +412,14 @@ class Participant:
             self._drop(message)
             return self._fail(message, str(aborted).encode())
         self.prepares_served += 1
+        if self.replication:
+            # A prepared half is now in doubt: if the decision never
+            # arrives (dead coordinator), this node assumes the
+            # completer role after the decision timeout.
+            self.runtime.sim.process(
+                self._decision_watchdog(gid.encode()),
+                name="decision-watch@%s" % (self.node or "?"),
+            )
         if self._piggyback:
             self.tracer.event(
                 "twopc", "prepare_target", node=self.node,
@@ -313,6 +442,17 @@ class Participant:
 
     def _on_commit(self, message: TxMessage, src: str) -> Gen:
         gid = GlobalTxnId(message.node_id, message.txn_id)
+        if self.replication:
+            # A direct instruction is decision evidence too: the sender
+            # (coordinator, its recovery, or a completer) already made
+            # the decision durable before driving it.  The slot makes
+            # this node's answer to later DECISION_QUERYs authoritative.
+            self.ledger.record(
+                gid.encode(),
+                DecisionRecord(
+                    ClogRecord.COMMIT, gid, [], [], "", 0, message.node_id
+                ),
+            )
         txn = self.active.pop(gid.encode(), None)
         if txn is None:
             # Already committed (e.g. duplicate instruction after the
@@ -337,6 +477,13 @@ class Participant:
 
     def _on_abort(self, message: TxMessage, src: str) -> Gen:
         gid = GlobalTxnId(message.node_id, message.txn_id)
+        if self.replication:
+            self.ledger.record(
+                gid.encode(),
+                DecisionRecord(
+                    ClogRecord.ABORT, gid, [], [], "", 0, message.node_id
+                ),
+            )
         txn = self.active.pop(gid.encode(), None)
         if txn is not None:
             if txn.status == TxnStatus.PREPARED:
@@ -377,6 +524,362 @@ class Participant:
             )
         return self._ack(message)
 
+    # -- non-blocking completion (decision replication) ----------------------
+    def _on_decision_record(self, message: TxMessage, src: str) -> Gen:
+        """Store a replicated decision into this node's write-once slot.
+
+        ACK means "my slot now holds (or already held) a decision of
+        this kind"; a FAIL reply carries the conflicting record the slot
+        holds instead, so the sender learns why its write was rejected.
+        """
+        yield from self.runtime.op_overhead()
+        record = DecisionRecord.decode(message.body)
+        gid_bytes = record.gid.encode()
+        stored = self.ledger.record(gid_bytes, record)
+        if stored is record:
+            self.ledger.replicated += 1
+            self.runtime.metrics.counter("decision.replicated").inc()
+            self.tracer.event(
+                "twopc", "decision_replicated", node=self.node,
+                txn=gid_bytes.hex(),
+                kind="commit" if record.kind == ClogRecord.COMMIT
+                else "abort",
+                coord=record.coordinator,
+            )
+        if stored.kind != record.kind:
+            return self._fail(message, stored.encode())
+        return self._ack(message)
+
+    def _on_decision_query(self, message: TxMessage, src: str) -> Gen:
+        """Answer a timed-out peer: the decision slot we hold, if any."""
+        yield from self.runtime.op_overhead()
+        gid_bytes = GlobalTxnId(message.node_id, message.txn_id).encode()
+        record = self.ledger.get(gid_bytes)
+        return self._ack(
+            message, record.encode() if record is not None else b""
+        )
+
+    # -- completer watchdogs -------------------------------------------------
+    def _decision_watchdog(self, gid_bytes: bytes) -> Gen:
+        """Armed per prepared half: take over if no decision arrives."""
+        config = self.runtime.config
+        yield self.runtime.sim.timeout(
+            config.decision_timeout_s
+            + self._rng.uniform(0.0, RESOLUTION_RETRY_INTERVAL)
+        )
+        txn = self.active.get(gid_bytes)
+        if txn is None or txn.status != TxnStatus.PREPARED:
+            return  # decided (or aborted locally) in time
+        yield from self.complete(gid_bytes)
+
+    def _orphan_fuse(self, gid_bytes: bytes) -> Gen:
+        """Release ACTIVE halves of a coordinator that died mid-execution
+        and is never restarted (so its recovery epoch fence never comes).
+
+        Presumed abort makes this safe: an ACTIVE half never voted YES,
+        so the group's decision — if one exists at all — can only be
+        abort.  A *reachable* coordinator re-arms the fuse instead: the
+        transaction may simply be slow, and aborting its half here would
+        let a later operation silently recreate a partial one.
+        """
+        gid = GlobalTxnId.decode(gid_bytes)
+        sim = self.runtime.sim
+        fuse = PREPARE_VOTE_TIMEOUT + self.runtime.config.decision_timeout_s
+        while True:
+            yield sim.timeout(
+                fuse + self._rng.uniform(0.0, RESOLUTION_RETRY_INTERVAL)
+            )
+            txn = self.active.get(gid_bytes)
+            if txn is None or txn.status != TxnStatus.ACTIVE:
+                return
+            try:
+                yield from self.rpc.call(
+                    self.addresses[gid.node_id],
+                    TxMessage(
+                        MsgType.TXN_RESOLVE, gid.node_id, gid.local_seq,
+                        self.op_ids(),
+                    ),
+                )
+            except NetworkError:
+                break  # coordinator unreachable: fence the orphan
+        txn = self.active.get(gid_bytes)
+        if txn is None or txn.status != TxnStatus.ACTIVE:
+            return
+        self.active.pop(gid_bytes, None)
+        yield from txn.rollback()
+        self.tracer.event(
+            "twopc", "fence_abort", node=self.node, txn=gid_bytes.hex(),
+            coord=gid.node_id, epoch=0,
+        )
+
+    # -- the completer state machine -----------------------------------------
+    def complete(self, gid_bytes: bytes) -> Gen:
+        """Assume the completer role for an in-doubt prepared half.
+
+        Tally the cluster's decision slots each round: once COMMIT holds
+        a majority of slots the decision is final and this node applies
+        it (rollback-protecting the whole group first) and drives the
+        rest of the group; once enough conflicting slots make commit
+        unreachable, abort is final (presumed abort: a commit that never
+        reached its quorum was never acknowledged to any client).  With
+        neither final, spread the best record we saw — or propose abort —
+        into every reachable empty slot and retally after a jittered
+        backoff.  Races between completers (and a recovering
+        coordinator's redrive) resolve idempotently: slots are
+        write-once, instructions carry asker-folded operation ids, and
+        the ``active``-entry pop applies each outcome exactly once.
+        """
+        if gid_bytes not in self.active:
+            return
+        sim = self.runtime.sim
+        ledger = self.ledger
+        gid = GlobalTxnId.decode(gid_bytes)
+        self.takeovers += 1
+        self.runtime.metrics.counter("completer.takeover").inc()
+        self.tracer.event(
+            "twopc", "completer_takeover", node=self.node,
+            txn=gid_bytes.hex(), coord=gid.node_id,
+        )
+        span = self.tracer.span(
+            "twopc", "complete", node=self.node, txn=gid_bytes.hex(),
+        )
+        outcome = "pending"
+        try:
+            while gid_bytes in self.active:
+                kinds, commit_record = yield from self._decision_round(
+                    gid_bytes, gid
+                )
+                commits = sum(
+                    1 for kind in kinds.values()
+                    if kind == ClogRecord.COMMIT
+                )
+                aborts = sum(
+                    1 for kind in kinds.values() if kind == ClogRecord.ABORT
+                )
+                if (
+                    commits < ledger.commit_quorum
+                    and aborts < ledger.abort_quorum
+                ):
+                    proposal = commit_record
+                    if proposal is None:
+                        proposal = DecisionRecord(
+                            ClogRecord.ABORT, gid, [], [], "", 0,
+                            self.numeric_id,
+                        )
+                    stored = ledger.record(gid_bytes, proposal)
+                    kinds[self.numeric_id] = stored.kind
+                    empty = [
+                        node for node, kind in kinds.items()
+                        if kind is None and node != self.numeric_id
+                    ]
+                    accepted = yield from self._spread(gid, stored, empty)
+                    for node in accepted:
+                        kinds[node] = stored.kind
+                    commits = sum(
+                        1 for kind in kinds.values()
+                        if kind == ClogRecord.COMMIT
+                    )
+                    aborts = sum(
+                        1 for kind in kinds.values()
+                        if kind == ClogRecord.ABORT
+                    )
+                if commits >= ledger.commit_quorum:
+                    outcome = "commit"
+                    yield from self._complete_commit(gid_bytes, commit_record)
+                    return
+                if aborts >= ledger.abort_quorum:
+                    outcome = "abort"
+                    yield from self._complete_abort(
+                        gid_bytes, ledger.get(gid_bytes)
+                    )
+                    return
+                yield sim.timeout(
+                    RESOLUTION_RETRY_INTERVAL
+                    + self._rng.uniform(0.0, RESOLUTION_RETRY_INTERVAL)
+                )
+        finally:
+            span.close(outcome=outcome)
+
+    def _decision_round(self, gid_bytes: bytes, gid: GlobalTxnId) -> Gen:
+        """One tally round: read every reachable peer's decision slot.
+
+        Returns ``(kinds, commit_record)`` where ``kinds`` maps node id
+        -> slot kind (``None`` = reachable but empty; unreachable peers
+        are absent) and ``commit_record`` is a full COMMIT record if any
+        slot supplied one.
+        """
+        sim = self.runtime.sim
+        peers = sorted(
+            node for node in self.addresses if node != self.numeric_id
+        )
+        events = dict(zip(peers, self.rpc.broadcast([
+            (
+                self.addresses[node],
+                TxMessage(
+                    MsgType.DECISION_QUERY, gid.node_id, gid.local_seq,
+                    self.op_ids(),
+                ),
+            )
+            for node in peers
+        ])))
+        yield sim.any_of([
+            sim.all_settled(list(events.values())),
+            sim.timeout(RESOLUTION_RETRY_INTERVAL),
+        ])
+        kinds: Dict[int, Optional[int]] = {}
+        commit_record: Optional[DecisionRecord] = None
+        own = self.ledger.get(gid_bytes)
+        if own is not None:
+            kinds[self.numeric_id] = own.kind
+            if own.kind == ClogRecord.COMMIT:
+                commit_record = own
+        for node, event in events.items():
+            reply = event.value if (event.triggered and event.ok) else None
+            if reply is None or reply.msg_type != MsgType.ACK:
+                continue
+            if not reply.body:
+                kinds[node] = None
+                continue
+            record = DecisionRecord.decode(reply.body)
+            kinds[node] = record.kind
+            if record.kind == ClogRecord.COMMIT and (
+                commit_record is None or not commit_record.targets
+            ):
+                commit_record = record
+        return kinds, commit_record
+
+    def _spread(
+        self, gid: GlobalTxnId, record: "DecisionRecord", nodes: List[int]
+    ) -> Gen:
+        """Write ``record`` into peers' empty slots; returns acceptors."""
+        if not nodes:
+            return []
+        sim = self.runtime.sim
+        body = record.encode()
+        events = dict(zip(nodes, self.rpc.broadcast([
+            (
+                self.addresses[node],
+                TxMessage(
+                    MsgType.DECISION_RECORD, gid.node_id, gid.local_seq,
+                    self.op_ids(), body,
+                ),
+            )
+            for node in nodes
+        ])))
+        yield sim.any_of([
+            sim.all_settled(list(events.values())),
+            sim.timeout(RESOLUTION_RETRY_INTERVAL),
+        ])
+        accepted = []
+        for node, event in events.items():
+            reply = event.value if (event.triggered and event.ok) else None
+            if reply is not None and reply.msg_type == MsgType.ACK:
+                accepted.append(node)
+        return accepted
+
+    def _complete_commit(
+        self, gid_bytes: bytes, record: Optional["DecisionRecord"]
+    ) -> Gen:
+        """Apply a quorum-final COMMIT and drive the rest of the group."""
+        if (
+            record is not None
+            and self.pipeline is not None
+            and self.runtime.profile.stabilization
+        ):
+            # I1: the group's prepare records and the decision entry must
+            # be rollback-protected before anyone applies the commit —
+            # the same group round the coordinator would have run.
+            targets = list(record.targets)
+            if record.counter:
+                targets.append((record.log_name, record.counter))
+            if targets:
+                yield from self.pipeline.stabilize_group(
+                    targets, txn=gid_bytes.hex(), phase="complete",
+                )
+        txn = self.active.pop(gid_bytes, None)
+        apply_targets: List[Tuple[str, int]] = []
+        if txn is not None:
+            if self._piggyback:
+                counter, log_name = yield from txn.commit_prepared_async(
+                    defer_stabilization=True
+                )
+                apply_targets.append((log_name, counter))
+            else:
+                yield from txn.commit_prepared_async()
+            self.commits_served += 1
+            self.tracer.event(
+                "twopc", "commit_apply", node=self.node,
+                txn=gid_bytes.hex(),
+            )
+        if record is not None and record.participants:
+            collected = yield from self._drive_group(
+                MsgType.TXN_COMMIT, gid_bytes, record
+            )
+            apply_targets.extend(collected)
+        if (
+            apply_targets
+            and self.pipeline is not None
+            and self.runtime.profile.stabilization
+        ):
+            yield from self.pipeline.stabilize_group(
+                apply_targets, txn=gid_bytes.hex(), phase="complete",
+            )
+
+    def _complete_abort(
+        self, gid_bytes: bytes, record: Optional["DecisionRecord"]
+    ) -> Gen:
+        """Apply a final abort; drive peers we know about (best effort —
+        every prepared peer runs its own watchdog anyway)."""
+        txn = self.active.pop(gid_bytes, None)
+        if txn is not None:
+            if txn.status == TxnStatus.PREPARED:
+                yield from txn.abort_prepared()
+            else:
+                yield from txn.rollback()
+            self.tracer.event(
+                "twopc", "abort_apply", node=self.node,
+                txn=gid_bytes.hex(),
+            )
+        if record is not None and record.participants:
+            yield from self._drive_group(
+                MsgType.TXN_ABORT, gid_bytes, record
+            )
+
+    def _drive_group(
+        self, msg_type: int, gid_bytes: bytes, record: "DecisionRecord"
+    ) -> Gen:
+        """Instruct the group once; returns piggybacked apply targets.
+
+        One round only: unreachable peers complete via their own
+        watchdogs (or the coordinator's recovery), and duplicate
+        instructions are absorbed by the receivers' exactly-once pop.
+        """
+        gid = GlobalTxnId.decode(gid_bytes)
+        pairs = [
+            (
+                self.addresses[node],
+                TxMessage(
+                    msg_type, gid.node_id, gid.local_seq, self.op_ids()
+                ),
+            )
+            for node in record.participants
+            if node != self.numeric_id and node in self.addresses
+        ]
+        if not pairs:
+            return []
+        events = self.rpc.broadcast(pairs)
+        yield self.runtime.sim.all_settled(events)
+        targets: List[Tuple[str, int]] = []
+        for event in events:
+            reply = event.value if (event.triggered and event.ok) else None
+            if (
+                reply is not None
+                and reply.msg_type == MsgType.ACK
+                and reply.body
+            ):
+                targets.extend(decode_counter_vector(reply.body))
+        return targets
+
 
 class Coordinator:
     """The coordinator role: drives global transactions over secure 2PC."""
@@ -393,6 +896,7 @@ class Coordinator:
         stabilize: Stabilize,
         epoch: int = 0,
         pipeline=None,
+        ledger: Optional[DecisionLedger] = None,
     ):
         self.runtime = runtime
         self.manager = manager
@@ -404,6 +908,15 @@ class Coordinator:
         self.stabilize = stabilize
         #: the node's DurabilityPipeline (group-wide stabilization rounds).
         self.pipeline = pipeline
+        #: this node's write-once decision slots (shared with its
+        #: Participant role under ``commit_replication``).
+        self.ledger = ledger
+        self.epoch = epoch
+        #: per-incarnation decision-replication operation ids: distinct
+        #: base from transaction ops and resolution ops, epoch-stamped so
+        #: a recovered coordinator's re-replication never collides with
+        #: its pre-crash broadcasts in a peer's replay guard.
+        self._decision_ops = itertools.count(1)
         self.tracer = runtime.tracer
         self.node = runtime.name or None
         self.allocator = TxnIdAllocator(node_numeric_id, epoch)
@@ -428,6 +941,162 @@ class Coordinator:
             and self.runtime.config.twopc_piggyback
             and self.pipeline is not None
         )
+
+    @property
+    def replication(self) -> bool:
+        """Whether decisions are replicated before the client reply."""
+        return (
+            self.runtime.config.commit_replication
+            and self.ledger is not None
+        )
+
+    def _decision_op_id(self) -> int:
+        return (
+            (1 << 59)
+            | (self.epoch << 40)
+            | next(self._decision_ops)
+        )
+
+    def _replicate_decision(
+        self, record: "DecisionRecord", txn_hex: str, phase: str = "decision"
+    ) -> Gen:
+        """Make the decision durable on a quorum before the client reply.
+
+        The DECISION_RECORD broadcast is enqueued in the same instant
+        the group stabilization round's first frames go out, so the
+        transport's doorbell window seals both into one frame per peer —
+        the decision rides the piggybacked round instead of costing its
+        own.  The quorum-acknowledgement wait then overlaps the counter
+        round.  The coordinator's own slot counts as one ack (it is
+        backed by the durable Clog entry).
+
+        Returns True once the decision is final.  For a COMMIT record,
+        False means conflicting completer slots made the commit quorum
+        unreachable — the caller must supersede with an abort, which is
+        safe because a commit that cannot reach quorum was never (and
+        will never be) acknowledged to the client.
+        """
+        sim = self.runtime.sim
+        ledger = self.ledger
+        gid_bytes = record.gid.encode()
+        stored = ledger.record(gid_bytes, record)
+        if record.kind == ClogRecord.COMMIT and stored.kind != record.kind:
+            # A completer abort proposal already occupies this node's
+            # own slot (a peer's watchdog fired while we were still
+            # deciding, or a local completer raced this redrive).  The
+            # quorum arithmetic below counts our own slot as one commit
+            # ack, which would be a lie here — and the abort side may
+            # already be one slot from finality.  Give up immediately:
+            # the client was never acknowledged, so the superseding
+            # abort the caller logs is safe.
+            return False
+        body = record.encode()
+        peers = sorted(
+            node for node in self.addresses
+            if node != self.node_numeric_id
+        )
+
+        def send(nodes):
+            sends = self.rpc.broadcast([
+                (
+                    self.addresses[node],
+                    TxMessage(
+                        MsgType.DECISION_RECORD, record.gid.node_id,
+                        record.gid.local_seq, self._decision_op_id(), body,
+                    ),
+                )
+                for node in nodes
+            ])
+            for event in sends:
+                # A send to a down peer fails fast — possibly before the
+                # quorum loop attaches its first settle barrier (the
+                # stabilization round runs in between under piggyback).
+                # Defuse so the uncovered failure never surfaces at the
+                # simulator; the loop reads event.ok itself.
+                event.defuse()
+            return dict(zip(nodes, sends))
+
+        if self.piggyback:
+            events = yield from self.pipeline.decision_round(
+                list(record.targets)
+                + [(self.clog.log_name, record.counter)],
+                txn=txn_hex, phase=phase, enqueue=lambda: send(peers),
+            )
+        else:
+            events = send(peers)
+            if self.runtime.profile.stabilization:
+                yield from self.stabilize(self.clog.log_name, record.counter)
+        if record.kind != ClogRecord.COMMIT:
+            # Presumed abort: no quorum needed before answering the
+            # client — a peer that misses the record learns the abort
+            # from its own watchdog round.  Drain the acks off-path.
+            def drain() -> Gen:
+                yield sim.all_settled(list(events.values()))
+
+            sim.process(drain(), name="decision-drain@%s" % (self.node or "?"))
+            return True
+        needed = ledger.commit_quorum - 1
+        acks = 0
+        conflicts = 0
+        span = self.tracer.span(
+            "twopc", "decision_wait", node=self.node, txn=txn_hex,
+            needed=needed,
+        )
+        try:
+            while acks < needed:
+                round_start = self.runtime.now
+                yield sim.any_of([
+                    sim.all_settled(list(events.values())),
+                    sim.timeout(RESOLUTION_RETRY_INTERVAL),
+                ])
+                retry = []
+                for node, event in list(events.items()):
+                    if not event.triggered:
+                        continue
+                    del events[node]
+                    reply = event.value if event.ok else None
+                    if (
+                        reply is not None
+                        and reply.msg_type == MsgType.ACK
+                    ):
+                        acks += 1
+                        self.tracer.event(
+                            "twopc", "decision-quorum", node=self.node,
+                            txn=txn_hex, peer=node, acks=acks,
+                            needed=needed,
+                        )
+                        continue
+                    if (
+                        reply is not None
+                        and reply.msg_type == MsgType.FAIL
+                        and reply.body
+                    ):
+                        # Write-once conflict: a completer already
+                        # proposed abort into that peer's slot.
+                        conflicts += 1
+                        continue
+                    retry.append(node)
+                if acks >= needed:
+                    break
+                undecided = len(peers) - acks - conflicts
+                if 1 + acks + undecided < ledger.commit_quorum:
+                    return False
+                if retry:
+                    remainder = RESOLUTION_RETRY_INTERVAL - (
+                        self.runtime.now - round_start
+                    )
+                    if remainder > 0.0:
+                        yield sim.timeout(remainder)
+                    events.update(send(retry))
+                elif not events:
+                    # Everyone settled, quorum still short and commit
+                    # still "reachable" — impossible by arithmetic, but
+                    # never spin on it.
+                    return False
+        finally:
+            span.close(acks=acks, conflicts=conflicts)
+        self.runtime.metrics.counter("decision.replicated").inc()
+        return True
 
     def log_clog(self, record: ClogRecord) -> Gen:
         counter = yield from self.clog.append(record.encode())
@@ -770,7 +1439,41 @@ class GlobalTxn:
                 targets=prepare_targets if vote_commit else None,
             )
         )
-        if self.runtime.profile.stabilization:
+        abort_reason = "a participant failed to prepare"
+        if coordinator.replication:
+            # Non-blocking commit: replicate the decision record to the
+            # whole cluster (riding the piggybacked group round) and,
+            # for commits, wait for a quorum of slot acknowledgements
+            # before the client can be answered — any participant can
+            # then finish the transaction without this coordinator.
+            decision = DecisionRecord(
+                decision_kind, self.gid, record_participants,
+                prepare_targets if vote_commit else [],
+                coordinator.clog.log_name, decision_counter,
+                coordinator.node_numeric_id,
+            )
+            replicated = yield from coordinator._replicate_decision(
+                decision, txn_hex
+            )
+            if vote_commit and not replicated:
+                # Completer abort slots beat the replication: the commit
+                # can never reach its quorum, so no client was (or ever
+                # will be) acknowledged.  Supersede the Clog COMMIT with
+                # an ABORT and take the abort path below.
+                vote_commit = False
+                abort_reason = (
+                    "commit decision superseded by a completer abort quorum"
+                )
+                superseded = yield from coordinator.log_clog(
+                    ClogRecord(
+                        ClogRecord.ABORT, self.gid, record_participants
+                    )
+                )
+                if coordinator.pipeline is not None:
+                    coordinator.pipeline.background(
+                        coordinator.clog.log_name, superseded
+                    )
+        elif self.runtime.profile.stabilization:
             if coordinator.piggyback:
                 # Aborted prepares need no rollback protection (presumed
                 # abort): only a commit decision carries the group.
@@ -792,7 +1495,10 @@ class GlobalTxn:
             span = tracer.span(
                 "twopc", "abort", node=coordinator.node, txn=txn_hex
             )
-            yield from self._broadcast_resolution(MsgType.TXN_ABORT, participants)
+            yield from self._broadcast_resolution(
+                MsgType.TXN_ABORT, participants,
+                max_rounds=2 if coordinator.replication else None,
+            )
             if self._local_txn is not None:
                 if self._local_txn.status == TxnStatus.PREPARED:
                     yield from self._local_txn.abort_prepared()
@@ -804,13 +1510,14 @@ class GlobalTxn:
             span.close()
             self.status = TxnStatus.ABORTED
             coordinator.aborts += 1
-            raise TransactionAborted("a participant failed to prepare")
+            raise TransactionAborted(abort_reason)
         # Commit phase: no stabilization wait needed before replying.
         span = tracer.span(
             "twopc", "commit", node=coordinator.node, txn=txn_hex
         )
         replies = yield from self._broadcast_resolution(
-            MsgType.TXN_COMMIT, participants
+            MsgType.TXN_COMMIT, participants,
+            max_rounds=2 if coordinator.replication else None,
         )
         # Symmetric apply-side piggyback: COMMIT/ACK bodies carry the
         # participants' commit-record targets; they join the background
@@ -881,7 +1588,8 @@ class GlobalTxn:
         )
         return True
 
-    def _broadcast_resolution(self, msg_type: int, participants: List[int]) -> Gen:
+    def _broadcast_resolution(self, msg_type: int, participants: List[int],
+                              max_rounds: Optional[int] = None) -> Gen:
         """Deliver the decision to every participant, retrying forever.
 
         The decision is already durable in the Clog, so retrying is
@@ -889,12 +1597,22 @@ class GlobalTxn:
         ignores the duplicate instruction (each retry carries a fresh
         operation id, so the at-most-once filter does not eat it).
 
+        ``max_rounds`` bounds the retries when the decision is
+        independently recoverable: under decision replication a quorum
+        of slots outlives this coordinator, so delivery is best-effort —
+        a participant that misses every round finishes via its decision
+        watchdog (the completer protocol) instead of wedging this fiber
+        on a permanently dead peer.  The legacy path must retry forever
+        because the decision exists only in this coordinator's Clog.
+
         Returns the collected replies (node -> TxMessage): COMMIT ACK
         bodies carry the participants' piggybacked apply-side targets.
         """
         pending = set(participants)
         replies: Dict[int, TxMessage] = {}
+        rounds = 0
         while pending:
+            rounds += 1
             nodes = sorted(pending)
             events = dict(zip(nodes, self.coordinator.rpc.broadcast(
                 [(self._address_of(node), self._message(msg_type))
@@ -912,6 +1630,8 @@ class GlobalTxn:
                     pending.discard(node)
                     replies[node] = event.value
             if pending:
+                if max_rounds is not None and rounds >= max_rounds:
+                    break
                 # A crashed destination settles its events instantly
                 # (failed), so pace the retries: without this the loop
                 # would spin at a single simulated instant.

@@ -35,7 +35,12 @@ from .explorer import (
     save_counterexample,
     shrink_trace,
 )
-from .faults import SCENARIOS, CrashInjector, piggyback_crash_points
+from .faults import (
+    SCENARIOS,
+    CrashInjector,
+    coordinator_crash_points,
+    piggyback_crash_points,
+)
 from .harness import MUTATIONS, RunResult, Scope, parse_scope, run_one
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "SCENARIOS",
     "CrashInjector",
     "piggyback_crash_points",
+    "coordinator_crash_points",
     "Scope",
     "RunResult",
     "MUTATIONS",

@@ -20,7 +20,11 @@ The injectable points, in pipeline order:
 * ``counter/promise``       — a coverage promise was just registered
   (async/lcm backends only: the waiter is parked on the lease, no round
   of its own in flight — crashing here exercises "coordinator dies with
-  an unexpired coverage promise outstanding").
+  an unexpired coverage promise outstanding");
+* ``twopc/decision-quorum`` — the coordinator just counted a decision
+  replication ACK (``commit_replication`` only: crashing between the
+  (k-1)-th and k-th ack exercises every partially-replicated decision
+  state the completer protocol must converge from).
 
 Crash model: :meth:`TreatyCluster.crash_node` detaches the node's NICs
 — nothing is sent or received afterwards (in-flight frames and zombie
@@ -36,6 +40,7 @@ __all__ = [
     "CrashInjector",
     "piggyback_crash_points",
     "legacy_crash_points",
+    "coordinator_crash_points",
 ]
 
 CrashPoint = Tuple[str, str]
@@ -58,6 +63,7 @@ SCENARIOS = (
     (("twopc", "decision"), False),
     (("twopc", "commit_apply"), False),
     (("counter", "promise"), True),
+    (("twopc", "decision-quorum"), True),
 )
 
 
@@ -71,16 +77,42 @@ def legacy_crash_points() -> Tuple[CrashPoint, ...]:
     return tuple(point for point, piggyback in SCENARIOS if not piggyback)
 
 
-class CrashInjector:
-    """Crash one node at the N-th occurrence of a trace event."""
+def coordinator_crash_points() -> Tuple[CrashPoint, ...]:
+    """Crash points emitted by the *coordinator* of a transaction.
 
-    def __init__(self, cluster, point, occurrence, victim_offset):
+    The non-blocking-commit battery kills the coordinator (and only
+    the coordinator) at each of these, never restarts it, and asserts
+    the survivors converge via the completer protocol.
+    """
+    return (
+        ("stabilize", "group_begin"),
+        ("twopc", "decision"),
+        ("twopc", "decision-quorum"),
+    )
+
+
+class CrashInjector:
+    """Crash one node at the N-th occurrence of a trace event.
+
+    ``victim`` (absolute node index) overrides the offset arithmetic —
+    the no-restart battery uses it to always kill the coordinator
+    regardless of which node emitted the matched event.  ``permanent``
+    is bookkeeping for the driver: the injector itself never restarts
+    anything, but drivers skip their recovery pass when it is set.
+    """
+
+    def __init__(
+        self, cluster, point, occurrence, victim_offset,
+        victim=None, permanent=False,
+    ):
         self.cluster = cluster
         self.point = point
         self.occurrence = occurrence
         #: 0 crashes the node that emitted the event; 1/2 crash a
         #: seeded bystander (same step, different failure domain).
         self.victim_offset = victim_offset
+        self.victim = victim
+        self.permanent = permanent
         self.seen = 0
         self.crashed = None  # node index, once fired
 
@@ -99,6 +131,11 @@ class CrashInjector:
         self.seen += 1
         if self.seen != self.occurrence:
             return
-        victim = (int(emitter[4:]) + self.victim_offset) % self.cluster.num_nodes
+        if self.victim is not None:
+            victim = self.victim
+        else:
+            victim = (
+                int(emitter[4:]) + self.victim_offset
+            ) % self.cluster.num_nodes
         self.crashed = victim
         self.cluster.crash_node(victim)

@@ -91,6 +91,14 @@ class Scope:
     #: victim offsets relative to the emitting node (0 = the emitter).
     crash_offsets: Tuple[int, ...] = (0,)
     max_crashes: int = 1
+    #: decision replication (non-blocking commit) under test.
+    commit_replication: bool = True
+    #: ``ClusterConfig.decision_timeout_s`` for the run.
+    decision_timeout: float = 3.0
+    #: crashed nodes stay dead: the recovery pass is skipped and the
+    #: survivors must converge on their own via the completer protocol
+    #: (liveness is then asserted on the survivors only).
+    no_restart: bool = False
     #: optional same-instant ready-set exploration (0/1 disables).
     tie_window: int = 0
     #: sim-seconds for the main workload phase (past the 2 s prepare-vote
@@ -165,6 +173,29 @@ def _disable_method(name: str, doc: str):
     return patch
 
 
+def _disable_coordinator_method(name: str, doc: str, result: Any = None):
+    @contextlib.contextmanager
+    def patch():
+        from ..core.twopc import Coordinator
+
+        original = getattr(Coordinator, name)
+
+        def stub(self, *args, **kwargs):
+            if False:
+                yield
+            return result
+
+        stub.__doc__ = doc
+        setattr(Coordinator, name, stub)
+        try:
+            yield
+        finally:
+            setattr(Coordinator, name, original)
+
+    patch.__doc__ = doc
+    return patch
+
+
 def _disable_pipeline_method(name: str, doc: str):
     @contextlib.contextmanager
     def patch():
@@ -212,6 +243,17 @@ MUTATIONS = {
         "stabilize_group",
         "mutation: transactions ack without lease coverage",
     ),
+    # §VII non-blocking commit: the coordinator must not acknowledge the
+    # client until its commit decision is sealed on a quorum of attested
+    # participants.  This stubs decision replication to report success
+    # without sending (or stabilizing) anything, so the commit is
+    # externalized with neither a durable decision quorum nor counter
+    # coverage — I1/I2 flag the very first unperturbed run.
+    "reply-before-decision-quorum": _disable_coordinator_method(
+        "_replicate_decision",
+        "mutation: client acked before decision quorum",
+        result=True,
+    ),
 }
 
 
@@ -222,11 +264,17 @@ def mutation_scope(name: str) -> Scope:
     — both shipped mutations manifest as stuck locks / unresolved
     in-doubt transactions, which only the drop-free audit asserts.
     """
+    # The two legacy recovery mutations target §VI's coordinator-driven
+    # redrive rules.  Decision replication (default on) independently
+    # converges the same schedules through the completer protocol, so
+    # the scopes pin the legacy single-coordinator path to keep each
+    # disabled rule's bug demonstrable.
     if name == "no-abort-rebroadcast":
         return Scope(
             actions=(),
             crash_points=(("twopc", "prepare_target"), ("twopc", "decision")),
             max_crashes=2,
+            commit_replication=False,
         )
     if name == "no-commit-redrive":
         # The bug needs a coordinator to die exactly between logging
@@ -235,11 +283,24 @@ def mutation_scope(name: str) -> Scope:
             actions=(),
             crash_points=(("twopc", "decision"),),
             max_crashes=1,
+            commit_replication=False,
         )
     if name == "ack-before-covered":
         # Acking without coverage violates I1/I2 on the very first
         # unperturbed run — no adversary actions or crashes needed; the
         # counterexample is the empty trace under the async backend.
+        return Scope(
+            actions=(),
+            crash_points=(),
+            max_crashes=0,
+            backend="counter-async",
+            shards=2,
+        )
+    if name == "reply-before-decision-quorum":
+        # Under replication the commit targets' counter round rides the
+        # piggybacked decision round, so stubbing replication acks the
+        # client with neither quorum nor coverage: I1/I2 flag the empty
+        # trace immediately.
         return Scope(
             actions=(),
             crash_points=(),
@@ -313,6 +374,8 @@ def _read_owner(cluster, key):
     whether that is legitimate for the schedule under audit.
     """
     owner = cluster.partitioner(key)
+    if not cluster.nodes[owner].is_up:
+        return _UNREADABLE
 
     def body():
         txn = cluster.nodes[owner].coordinator.begin()
@@ -322,7 +385,7 @@ def _read_owner(cluster, key):
 
     try:
         return cluster.run(body(), name="mc-read")
-    except TransactionAborted:
+    except (TransactionAborted, NetworkError):
         return _UNREADABLE
 
 
@@ -348,6 +411,8 @@ def _run_one(scope, trace, remaining_budget, visited, sleep0, crc_cache,
         rollback_backend=scope.backend,
         counter_shards=scope.shards,
         monitor_liveness_timeout_s=scope.liveness_timeout,
+        commit_replication=scope.commit_replication,
+        decision_timeout_s=scope.decision_timeout,
     )
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     sim = cluster.sim
@@ -424,6 +489,12 @@ def _run_one(scope, trace, remaining_budget, visited, sleep0, crc_cache,
             ]
             if not down:
                 break
+            if scope.no_restart:
+                # Crashed nodes stay dead.  The survivors get one settle
+                # window to converge via the completer protocol — decision
+                # timeouts fire, a completer drives the group outcome.
+                sim.run(until=sim.now + scope.post_horizon)
+                break
             for i in down:
                 cluster.run(cluster.recover_node(i), name="mc-recover-%d" % i)
             sim.run(until=sim.now + scope.post_horizon)
@@ -466,9 +537,12 @@ def _run_one(scope, trace, remaining_budget, visited, sleep0, crc_cache,
         if liveness:
             for i, node in enumerate(cluster.nodes):
                 if not node.is_up:
-                    violations.append(
-                        "liveness: node%d still down at end of run" % i
-                    )
+                    # Under no_restart the dead node is the fault model,
+                    # not a violation — survivors are what must converge.
+                    if not scope.no_restart:
+                        violations.append(
+                            "liveness: node%d still down at end of run" % i
+                        )
                     continue
                 held = {
                     txn_id: list(keys)
@@ -493,12 +567,21 @@ def _run_one(scope, trace, remaining_budget, visited, sleep0, crc_cache,
         # after freeze(), so they are never perturbed or recorded.
         for index, (coord, pairs) in enumerate(txns):
             values = [_read_owner(cluster, key) for key, _ in pairs]
+            # A key whose owning shard is permanently dead (no_restart)
+            # is durable-but-unservable: its half lives in the dead
+            # node's sealed storage.  Excuse it from the visibility
+            # count; mismatches on live shards still flag.
+            excused = sum(
+                1 for value, (key, _v) in zip(values, pairs)
+                if value is _UNREADABLE and scope.no_restart
+                and not cluster.nodes[cluster.partitioner(key)].is_up
+            )
             readable = [
                 (value == pairs[i][1])
                 for i, value in enumerate(values) if value is not _UNREADABLE
             ]
             if outcomes[index] == "committed":
-                if len(readable) < len(values) or not all(readable):
+                if len(readable) + excused < len(values) or not all(readable):
                     violations.append(
                         "durability: txn %d committed but writes are not "
                         "all visible: %s" % (index, [

@@ -74,6 +74,13 @@ class MsgType:
     #: a recovered coordinator announces its new boot epoch; peers abort
     #: its pre-epoch transactions that never reached PREPARE.
     TXN_FENCE = 18
+    #: commit_replication: the coordinator replicates its commit/abort
+    #: decision record to the participant group before answering the
+    #: client; a quorum of ACKs makes the decision durable.
+    DECISION_RECORD = 19
+    #: commit_replication: a timed-out participant asks its peers what
+    #: decision (if any) they hold for an in-doubt transaction.
+    DECISION_QUERY = 20
 
     NAMES = {
         1: "TXN_READ",
@@ -94,6 +101,8 @@ class MsgType:
         16: "TXN_RESOLVE_REPLY",
         17: "TXN_SCAN",
         18: "TXN_FENCE",
+        19: "DECISION_RECORD",
+        20: "DECISION_QUERY",
     }
 
 

@@ -74,6 +74,7 @@ CATEGORIES = (
     "group_commit",
     "storage",
     "tee",
+    "decision",
     "compute",
 )
 
@@ -106,6 +107,10 @@ def categorize(span: Record) -> str:
         return "group_commit" if span["name"] == "group_commit" else "storage"
     if cat == "locks":
         return "lock"
+    if cat == "twopc" and span["name"] in ("decision_wait", "complete"):
+        # Non-blocking commit: the quorum-acknowledgement wait on the
+        # replicated decision, and a completer's takeover drive.
+        return "decision"
     return "compute"
 
 

@@ -152,6 +152,15 @@ class InvariantMonitor:
             )
             return
         self.confirmed[(replica, log)] = value
+        # A CONFIRM is also a stability witness: the source only
+        # confirms after a quorum of echoes, so the value is rollback-
+        # protected by construction even if the confirming client dies
+        # before emitting its own advance event.  Survivors trust
+        # replica-confirmed values (gate init) — the monitor must too,
+        # or a completer finishing a dead coordinator's transaction
+        # trips I1 on a decision entry that IS protected.
+        if value > self.stable.get(log, 0):
+            self.stable[log] = value
 
     def _await_decision(self, rec: Dict[str, Any]) -> None:
         txn = rec.get("txn")

@@ -351,11 +351,14 @@ class QuorumOf(_ConditionEvent):
     def _check(self, event: Event) -> None:
         if not event.ok:
             event.defuse()
-        elif self.accept is None or self.accept(event.value):
-            self._accepted += 1
         if self._triggered:
+            # Late stragglers only get defused; counting them would let
+            # a post-quorum NetworkError settle masquerade as an accept
+            # (or skew the all-settled backstop bookkeeping).
             return
         self._pending -= 1
+        if event.ok and (self.accept is None or self.accept(event.value)):
+            self._accepted += 1
         if self._accepted >= self.needed or self._pending == 0:
             self.succeed(self.events)
 

@@ -140,10 +140,16 @@ def test_crash_point_conformance(seed, backend):
     # Bias towards crashing the emitter; sometimes take down a bystander.
     victim_offset = rng.choice((0, 0, 0, 1, 2))
 
+    # COORDINATOR_NO_RESTART=1: the crashed node stays dead for the rest
+    # of the run — the sweep then asserts that the survivors converge on
+    # their own through decision replication + the completer protocol.
+    no_restart = os.environ.get("COORDINATOR_NO_RESTART") == "1"
+
     config = _backend_config(seed, backend, piggyback)
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     try:
-        _run_one_seed(cluster, rng, point, occurrence, victim_offset)
+        _run_one_seed(cluster, rng, point, occurrence, victim_offset,
+                      no_restart=no_restart)
     except BaseException:
         trace_dir = os.environ.get("CRASH_CONFORMANCE_TRACE_DIR")
         if trace_dir:
@@ -178,7 +184,8 @@ def _export_critical_paths(records, path):
         fp.write("\n\n".join(sections) + "\n")
 
 
-def _run_one_seed(cluster, rng, point, occurrence, victim_offset):
+def _run_one_seed(cluster, rng, point, occurrence, victim_offset,
+                  no_restart=False):
     sim = cluster.sim
     txns = spread_txns(cluster, count=6)
     outcomes = ["pending"] * len(txns)
@@ -231,15 +238,29 @@ def _run_one_seed(cluster, rng, point, occurrence, victim_offset):
     sim.run(until=sim.now + 6.0)
 
     if injector.crashed is not None:
-        cluster.run(cluster.recover_node(injector.crashed), name="recover")
-        # Let re-aborts, re-driven commits and prepared-txn resolution
-        # converge before auditing state.
-        sim.run(until=sim.now + 6.0)
+        if no_restart:
+            # Nobody recovers the victim: decision timeouts fire, a
+            # surviving completer drives each in-doubt group to its
+            # replicated (or presumed-abort) outcome.
+            sim.run(until=sim.now + 6.0)
+        else:
+            cluster.run(cluster.recover_node(injector.crashed),
+                        name="recover")
+            # Let re-aborts, re-driven commits and prepared-txn
+            # resolution converge before auditing state.
+            sim.run(until=sim.now + 6.0)
 
-    # Conformance: atomicity + durability across every shard.
+    # Conformance: atomicity + durability across every shard.  A shard
+    # that is dead forever (no_restart) is unservable — its half is
+    # audited on the survivors only.
+    dead = injector.crashed if no_restart else None
     for index, (coord, pairs) in enumerate(txns):
-        values = [read_owner(cluster, key) for key, _ in pairs]
-        present = [value == pairs[i][1] for i, value in enumerate(values)]
+        audit = [
+            (key, expected) for key, expected in pairs
+            if cluster.partitioner(key) != dead
+        ]
+        values = [read_owner(cluster, key) for key, _ in audit]
+        present = [value == audit[i][1] for i, value in enumerate(values)]
         if outcomes[index] == "committed":
             assert all(present), (
                 "seed txn %d committed but writes are missing: %s"

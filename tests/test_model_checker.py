@@ -18,6 +18,7 @@ from repro.core import TreatyCluster
 from repro.mc import (
     MUTATIONS,
     SCENARIOS,
+    coordinator_crash_points,
     explore,
     load_counterexample,
     parse_scope,
@@ -143,6 +144,22 @@ class TestExplorer:
         assert 0.0 < stats.prune_rate <= 1.0
         assert stats.depth_exhausted.get(1) in (True, False)
 
+    def test_coordinator_death_depth_two_stays_green(self):
+        """Non-blocking commit under the bounded checker: every depth-2
+        schedule that kills the emitter at a decision-path crash point
+        and never restarts it stays green — decision replication plus
+        the completer protocol converge on the survivors alone."""
+        scope = Scope(
+            actions=(),
+            crash_points=coordinator_crash_points(),
+            crash_offsets=(0,),
+            max_crashes=1,
+            no_restart=True,
+        )
+        stats, counterexample = explore(scope, depth=2, max_runs=30)
+        assert counterexample is None
+        assert stats.runs > 1
+
     def test_depth_one_crash_only_scope_exhausts(self):
         scope = Scope(
             actions=(),
@@ -237,6 +254,24 @@ class TestMutationCounterexample:
         stats, counterexample = explore(
             mutation_scope("ack-before-covered"),
             depth=1, mutation="ack-before-covered",
+        )
+        assert counterexample is not None
+        assert not [c for c in counterexample["trace"] if c]
+        assert any("I1" in v or "I2" in v
+                   for v in counterexample["violations"])
+        _scope, result = replay_counterexample(counterexample, mutation=None)
+        assert result.green, result.violations
+
+    def test_reply_before_decision_quorum_is_caught(self):
+        """A coordinator that acks the client before its commit decision
+        is sealed on a quorum of attested participants violates I1/I2 on
+        the very first unperturbed run — under replication the commit
+        targets' counter round rides the decision round, so skipping it
+        externalizes an uncovered commit.  The counterexample is the
+        empty trace; the real protocol replays green."""
+        stats, counterexample = explore(
+            mutation_scope("reply-before-decision-quorum"),
+            depth=1, mutation="reply-before-decision-quorum",
         )
         assert counterexample is not None
         assert not [c for c in counterexample["trace"] if c]
@@ -364,9 +399,11 @@ class TestFaultsExtraction:
         assert SCENARIOS[0] == (("twopc", "prepare_target"), True)
         assert SCENARIOS[1] == (("stabilize", "group_begin"), True)
         # New points are appended, never inserted: counter/promise
-        # (coverage backends) rides at the end.
+        # (coverage backends) then twopc/decision-quorum (non-blocking
+        # commit) ride at the end.
         assert SCENARIOS[8] == (("counter", "promise"), True)
-        assert len(SCENARIOS) == 9
+        assert SCENARIOS[9] == (("twopc", "decision-quorum"), True)
+        assert len(SCENARIOS) == 10
 
     def test_piggyback_filter_subsets_scenarios(self):
         points = piggyback_crash_points()

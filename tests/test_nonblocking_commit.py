@@ -1,0 +1,391 @@
+"""Liveness-under-coordinator-death battery for non-blocking commit.
+
+Treaty's baseline 2PC blocks when the coordinator dies: prepared
+participants hold their locks until the coordinator's enclave restarts
+and replays its Clog.  With ``commit_replication`` (default on) the
+coordinator seals its commit/abort decision into the piggybacked group
+round and waits for a quorum of attested participants to hold the
+decision slot *before* the client is acknowledged — so any surviving
+participant whose decision watchdog fires can assume the completer
+role and drive the group to its outcome without the coordinator ever
+coming back.
+
+This battery kills the coordinator at every crash point of the shared
+fault vocabulary (``repro.mc.faults.SCENARIOS``) and **never restarts
+it**, then asserts on the survivors:
+
+* any transaction whose commit decision reached a surviving slot is
+  fully committed on every surviving shard (the completer spreads and
+  applies it);
+* any transaction with no surviving commit slot is fully absent
+  (presumed abort via the completer's abort quorum) — all-or-nothing,
+  never a partial write;
+* a transaction whose ``commit()`` returned success is fully visible
+  (durability: the quorum wait precedes the client ack);
+* the strict I1–I5 monitor stays green and the quiescence sweep passes
+  on the survivors.
+
+Plus two pins: a healthy run performs **zero** completer takeovers
+(the watchdog must never fire under a live coordinator), and a
+same-instant completer race between two survivors resolves to exactly
+one set of apply effects per shard (the active-entry pop is the
+exactly-once guard).
+"""
+
+import os
+
+import pytest
+
+from repro.config import ClusterConfig, TREATY_FULL
+from repro.core import TreatyCluster
+from repro.errors import TransactionAborted
+from repro.mc.faults import SCENARIOS, CrashInjector
+from repro.sim.rng import SeededRng
+
+COORDINATOR = 0
+
+
+def _config(seed, backend, piggyback):
+    return ClusterConfig(
+        seed=seed,
+        tracing=True,
+        monitor=True,
+        twopc_piggyback=piggyback,
+        rollback_backend=backend,
+        counter_shards=1 if backend == "counter-sync" else 2,
+        # Tight watchdog so takeovers fire well inside the settle window.
+        decision_timeout_s=1.5,
+    )
+
+
+def _distinct_keys(cluster, node_index, count, tag):
+    keys, i = [], 0
+    while len(keys) < count:
+        key = b"%s-%05d" % (tag, i)
+        if cluster.partitioner(key) == node_index:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def _coordinator_txns(cluster, count):
+    """``count`` distributed transactions, all coordinated by the
+    designated victim, each writing one key per shard (forced 2PC)."""
+    txns = []
+    for t in range(count):
+        tag = b"nb%02d" % t
+        pairs = [
+            (_distinct_keys(cluster, i, 1, tag)[0], b"val-" + tag)
+            for i in range(cluster.num_nodes)
+        ]
+        txns.append((COORDINATOR, pairs))
+    return txns
+
+
+def _read_survivor(cluster, key, dead):
+    """Read ``key`` on its owning shard; ``None`` result means absent,
+    ``dead``-owned keys are unservable and return the sentinel."""
+    owner = cluster.partitioner(key)
+    if owner == dead:
+        return _DEAD
+
+    def body():
+        txn = cluster.nodes[owner].coordinator.begin()
+        value = yield from txn.get(key)
+        yield from txn.commit()
+        return value
+
+    return cluster.run(body(), name="nb-read")
+
+
+_DEAD = object()
+
+
+def _drive_workload(cluster, txns, outcomes, give_up=4.0):
+    sim = cluster.sim
+
+    def drive(index, coord, pairs, delay):
+        yield sim.timeout(delay)
+        txn = cluster.nodes[coord].coordinator.begin()
+        put_done = [False]
+
+        def put_phase():
+            try:
+                for key, value in pairs:
+                    yield from txn.put(key, value)
+            except TransactionAborted:
+                outcomes[index] = "aborted"
+                return
+            put_done[0] = True
+
+        puts = sim.process(put_phase(), name="nb-puts-%d" % index)
+        yield sim.any_of([puts, sim.timeout(give_up)])
+        if outcomes[index] == "aborted":
+            return
+        if not put_done[0]:
+            outcomes[index] = "stuck"
+            sim.process(txn.rollback(), name="nb-giveup-%d" % index)
+            return
+        try:
+            yield from txn.commit()
+        except TransactionAborted:
+            outcomes[index] = "aborted"
+            return
+        outcomes[index] = "committed"
+
+    for index, (coord, pairs) in enumerate(txns):
+        sim.process(
+            drive(index, coord, pairs, delay=index * 1e-3),
+            name="nb-txn-%d" % index,
+        )
+
+
+def _surviving_commit_slots(cluster, txn_hex, dead):
+    """Surviving nodes that recorded this transaction's COMMIT decision
+    (``twopc/decision_replicated`` with kind=commit), from the trace."""
+    nodes = set()
+    for rec in cluster.obs.records():
+        if rec["type"] != "event" or rec.get("cat") != "twopc":
+            continue
+        if rec.get("name") != "decision_replicated":
+            continue
+        if rec.get("txn") != txn_hex:
+            continue
+        if rec.get("args", {}).get("kind") != "commit":
+            continue
+        node = int(rec["node"][4:])
+        if node != dead:
+            nodes.add(node)
+    return nodes
+
+
+def _takeovers(cluster, exclude=()):
+    return sum(
+        node.participant.takeovers
+        for i, node in enumerate(cluster.nodes) if i not in exclude
+    )
+
+
+# -- the sweep: coordinator dies at every crash point, stays dead -------------
+
+
+def _sweep_seeds():
+    spec = os.environ.get("NONBLOCKING_SWEEP_SEEDS", "2")
+    return list(range(int(spec)))
+
+
+@pytest.mark.parametrize("seed", _sweep_seeds())
+@pytest.mark.parametrize("scenario", range(len(SCENARIOS)))
+def test_coordinator_death_converges(scenario, seed):
+    point, piggyback = SCENARIOS[scenario]
+    rng = SeededRng(seed * len(SCENARIOS) + scenario, "nonblocking")
+    occurrence = rng.randint(1, 3)
+    # counter/promise only fires under the coverage backends; everything
+    # else sweeps the sync backend (the conformance matrix covers the
+    # full backend cross product).
+    backend = "counter-async" if point == ("counter", "promise") \
+        else "counter-sync"
+
+    cluster = TreatyCluster(
+        profile=TREATY_FULL, config=_config(seed, backend, piggyback)
+    ).start()
+    sim = cluster.sim
+    txns = _coordinator_txns(cluster, count=4)
+    outcomes = ["pending"] * len(txns)
+
+    # victim= pins the kill to the coordinator no matter which node
+    # emitted the matched event; permanent: nobody ever recovers it.
+    injector = CrashInjector(
+        cluster, point, occurrence, 0, victim=COORDINATOR, permanent=True,
+    ).arm()
+    _drive_workload(cluster, txns, outcomes)
+    # Workload window (past the 2 s prepare-vote timeout), then a settle
+    # window for decision watchdogs + completer rounds on the survivors.
+    sim.run(until=sim.now + 6.0)
+    sim.run(until=sim.now + 6.0)
+
+    dead = injector.crashed
+    for index, (coord, pairs) in enumerate(txns):
+        txn_hex = None
+        values = {}
+        for key, expected in pairs:
+            value = _read_survivor(cluster, key, dead)
+            if value is _DEAD:
+                continue
+            values[key] = (value, expected)
+        present = [value == expected for value, expected in values.values()]
+        # All-or-nothing on the survivors, whatever happened.
+        assert all(present) or not any(present), (
+            "txn %d (%s) applied on some surviving shards only: %s"
+            % (index, outcomes[index], values)
+        )
+        if outcomes[index] == "committed":
+            # Durability: the ack implies decision quorum, which implies
+            # the completers can only converge on commit.
+            assert all(present), (
+                "txn %d acked committed but writes are missing on "
+                "survivors: %s" % (index, values)
+            )
+        if dead is not None:
+            # A commit decision that reached any surviving slot must win:
+            # the completer protocol prefers a genuine COMMIT record over
+            # its synthetic abort proposal.
+            txn_hex = _txn_hex_for(cluster, index)
+            if txn_hex and _surviving_commit_slots(cluster, txn_hex, dead):
+                assert all(present), (
+                    "txn %d reached a surviving commit slot but is not "
+                    "visible everywhere: %s" % (index, values)
+                )
+
+    monitor = cluster.obs.monitor
+    monitor.check_quiescent(now=sim.now)
+    assert monitor.green, monitor.violations
+
+    if dead is not None:
+        # Survivors' lock tables and participant tables are quiescent.
+        for i, node in enumerate(cluster.nodes):
+            if i == dead:
+                continue
+            held = {
+                txn_id: keys
+                for txn_id, keys in node.manager.locks._held.items() if keys
+            }
+            assert not held, (
+                "node%d lock table not quiescent: %s" % (i, held)
+            )
+            assert not node.participant.active, (
+                "node%d still has in-doubt participant txns" % i
+            )
+
+
+def _txn_hex_for(cluster, index):
+    """Map workload index -> txn hex via the prepare spans (the N-th
+    coordinator-side prepare belongs to the N-th driven transaction —
+    all transactions share one coordinator, which serializes begins)."""
+    hexes = []
+    for rec in cluster.obs.records():
+        if rec["type"] != "span" or rec.get("cat") != "twopc":
+            continue
+        if rec.get("name") != "prepare":
+            continue
+        txn = rec.get("txn")
+        if txn and txn not in hexes:
+            hexes.append(txn)
+    return hexes[index] if index < len(hexes) else None
+
+
+# -- pin: a live coordinator never provokes a takeover ------------------------
+
+
+class TestNoSpuriousTakeover:
+    def test_healthy_run_has_zero_takeovers(self):
+        """The decision watchdog must be disarmed by the normal commit
+        path: a surviving coordinator's transactions complete without a
+        single completer takeover (or decision query round)."""
+        cluster = TreatyCluster(
+            profile=TREATY_FULL,
+            config=_config(7, "counter-sync", piggyback=True),
+        ).start()
+        txns = _coordinator_txns(cluster, count=4)
+        outcomes = ["pending"] * len(txns)
+        _drive_workload(cluster, txns, outcomes)
+        # Well past decision_timeout_s (1.5) plus jitter: any armed
+        # watchdog that survives its transaction would fire here.
+        cluster.sim.run(until=cluster.sim.now + 8.0)
+
+        assert outcomes == ["committed"] * len(txns)
+        assert _takeovers(cluster) == 0
+        assert sum(
+            node.runtime.metrics.counter("completer.takeover").value
+            for node in cluster.nodes
+        ) == 0
+        takeover_events = [
+            rec for rec in cluster.obs.records()
+            if rec["type"] == "event"
+            and (rec.get("cat"), rec.get("name"))
+            == ("twopc", "completer_takeover")
+        ]
+        assert not takeover_events
+
+
+# -- pin: same-instant completer race is exactly-once -------------------------
+
+
+class TestCompleterRace:
+    def test_simultaneous_takeovers_apply_once(self):
+        """Both survivors time out in the same instant and race to
+        complete the same in-doubt transaction.  Both count a takeover,
+        but the apply/release effects happen exactly once per shard —
+        the participant's active-entry pop is the exactly-once guard,
+        and duplicate TXN_COMMIT drives are absorbed as ACKs."""
+        cluster = TreatyCluster(
+            profile=TREATY_FULL,
+            # Long watchdog: the race below fires manually, before any
+            # organic timeout could interleave a third completer.
+            config=ClusterConfig(
+                seed=11, tracing=True, monitor=True,
+                decision_timeout_s=30.0,
+            ),
+        ).start()
+        sim = cluster.sim
+        txns = _coordinator_txns(cluster, count=1)
+        outcomes = ["pending"]
+
+        # Kill the coordinator right after it counts its first decision
+        # replication ack: both survivors hold the commit slot, nobody
+        # ever received TXN_COMMIT.
+        injector = CrashInjector(
+            cluster, ("twopc", "decision-quorum"), 1, 0,
+            victim=COORDINATOR, permanent=True,
+        ).arm()
+        _drive_workload(cluster, txns, outcomes)
+        sim.run(until=sim.now + 4.0)
+        assert injector.crashed == COORDINATOR
+
+        survivors = [
+            i for i in range(cluster.num_nodes) if i != COORDINATOR
+        ]
+        in_doubt = set.intersection(*(
+            set(cluster.nodes[i].participant.active) for i in survivors
+        ))
+        assert in_doubt, "no shared in-doubt transaction to race on"
+        gid_bytes = sorted(in_doubt)[0]
+
+        # The race: both completers enter at the same sim instant.
+        for i in survivors:
+            sim.process(
+                cluster.nodes[i].participant.complete(gid_bytes),
+                name="race-completer-%d" % i,
+            )
+        sim.run(until=sim.now + 4.0)
+
+        assert _takeovers(cluster, exclude=(COORDINATOR,)) == 2
+        # Exactly one application of the commit per surviving shard.
+        applies = {}
+        for rec in cluster.obs.records():
+            if rec["type"] != "event" or rec.get("cat") != "twopc":
+                continue
+            if rec.get("name") not in ("commit_apply", "abort_apply"):
+                continue
+            if rec.get("txn") != gid_bytes.hex():
+                continue
+            applies.setdefault(rec["node"], []).append(rec["name"])
+        for i in survivors:
+            assert applies.get("node%d" % i) == ["commit_apply"], (
+                "node%d applies: %s" % (i, applies.get("node%d" % i))
+            )
+
+        # Both halves visible, locks free, monitor green.
+        for key, expected in txns[0][1]:
+            value = _read_survivor(cluster, key, COORDINATOR)
+            if value is not _DEAD:
+                assert value == expected
+        for i in survivors:
+            node = cluster.nodes[i]
+            assert not node.participant.active
+            assert not any(
+                keys for keys in node.manager.locks._held.values()
+            )
+        monitor = cluster.obs.monitor
+        monitor.check_quiescent(now=sim.now)
+        assert monitor.green, monitor.violations

@@ -191,3 +191,62 @@ class TestCpuPool:
             CpuPool(sim, cores=0)
         with pytest.raises(ValueError):
             CpuPool(sim, cores=1, speed_factor=0)
+
+
+class TestQuorumOf:
+    """Vote-counting composite: regression pins for the late-settle
+    accounting fix (a straggler settling after the trigger must only be
+    defused — counting it corrupted the quorum/backstop bookkeeping)."""
+
+    def test_quorum_then_late_failure_stays_clean(self, sim):
+        events = [sim.event() for _ in range(3)]
+        quorum = sim.quorum_of(events, needed=2)
+        events[0].succeed("a")
+        events[1].succeed("b")
+        sim.run()
+        assert quorum.triggered and quorum.ok
+        # The straggler fails *after* the trigger (a down peer's
+        # NetworkError settling late): it must be defused — neither
+        # failing the composite, nor re-firing it via the backstop,
+        # nor surfacing an uncovered error at the simulator.
+        events[2].fail(RuntimeError("late NetworkError settle"))
+        sim.run()
+        assert quorum.triggered and quorum.ok
+
+    def test_failure_then_quorum_still_triggers(self, sim):
+        events = [sim.event() for _ in range(3)]
+        quorum = sim.quorum_of(events, needed=2)
+        events[0].fail(RuntimeError("down peer fails fast"))
+        sim.run()
+        assert not quorum.triggered  # one failure is not quorum progress
+        events[1].succeed("a")
+        events[2].succeed("b")
+        sim.run()
+        assert quorum.triggered and quorum.ok
+
+    def test_late_ok_settle_does_not_skew_accept_count(self, sim):
+        accepted = []
+
+        def accept(value):
+            accepted.append(value)
+            return True
+
+        events = [sim.event() for _ in range(3)]
+        quorum = sim.quorum_of(events, needed=2, accept=accept)
+        events[0].succeed("a")
+        events[1].succeed("b")
+        sim.run()
+        assert quorum.triggered
+        events[2].succeed("c")  # post-quorum straggler: not consulted
+        sim.run()
+        assert accepted == ["a", "b"]
+
+    def test_all_failed_backstop_fires_once(self, sim):
+        events = [sim.event() for _ in range(2)]
+        quorum = sim.quorum_of(events, needed=2)
+        for event in events:
+            event.fail(RuntimeError("unreachable"))
+        sim.run()
+        # Quorum unreachable: the all-settled backstop fires (ok), so
+        # the caller can inspect per-event outcomes itself.
+        assert quorum.triggered and quorum.ok
