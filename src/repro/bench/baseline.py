@@ -37,7 +37,10 @@ __all__ = [
     "BASELINE_BACKEND",
     "BASELINE_SHARDS",
     "GATED_METRICS",
+    "WORKLOAD_PROFILES",
+    "WORKLOAD_GATED_METRICS",
     "run_baseline",
+    "run_workload_profiles",
     "check_baseline",
     "format_baseline_deltas",
     "write_baseline",
@@ -73,6 +76,19 @@ DEFAULT_TOLERANCE = 0.25
 BASELINE_BACKEND = "counter-async"
 BASELINE_SHARDS = 4
 
+#: read-mostly mixes recorded as per-workload baseline sections; each
+#: pairs the snapshot-read/OCC run with a locking-2PC run on the same
+#: seed so the section carries the measured gain.
+WORKLOAD_PROFILES = ("ycsb-b", "ycsb-c")
+
+#: gated metrics inside each per-workload section (same band semantics
+#: as :data:`GATED_METRICS`, failure names prefixed with the workload).
+WORKLOAD_GATED_METRICS = (
+    ("throughput_tps", "min"),
+    ("p50_ms", "max"),
+    ("cluster_frames_per_txn", "max"),
+)
+
 
 def run_baseline(
     num_clients: Optional[int] = None,
@@ -80,8 +96,13 @@ def run_baseline(
     seed: int = 11,
     backend: Optional[str] = None,
     shards: Optional[int] = None,
+    workloads: bool = True,
 ) -> Dict[str, Any]:
-    """One traced YCSB run on TREATY_FULL; returns the baseline document."""
+    """One traced YCSB run on TREATY_FULL; returns the baseline document.
+
+    ``workloads`` additionally records the read-mostly per-workload
+    sections (:func:`run_workload_profiles`).
+    """
     num_clients = num_clients or 24
     duration = duration or (0.2 if bench_scale() == "quick" else 0.6)
     backend = backend or BASELINE_BACKEND
@@ -130,7 +151,7 @@ def run_baseline(
             "share": round(sum(samples) / grand_total, 6),
         }
 
-    return {
+    document = {
         "meta": {
             "profile": TREATY_FULL.name,
             "workload": "ycsb-50/50-distributed",
@@ -158,6 +179,68 @@ def run_baseline(
         "critical_path": critical_path,
         "_aggregate": aggregate,  # stripped before serialization
     }
+    if workloads:
+        document["workloads"] = run_workload_profiles(
+            num_clients=num_clients, duration=duration, seed=seed
+        )
+    return document
+
+
+def run_workload_profiles(
+    num_clients: Optional[int] = None,
+    duration: Optional[float] = None,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Per-workload baseline sections (read-mostly mixes).
+
+    Each section runs the mix twice on the same seed — snapshot-read
+    fast path on, then plain locking 2PC — and records the snapshot
+    run's gated metrics plus the measured gain over locking.
+    """
+    from .harness import ycsb_variant_run
+
+    sections: Dict[str, Any] = {}
+    for name in WORKLOAD_PROFILES:
+        variant = name.rsplit("-", 1)[-1]
+        _, snap = ycsb_variant_run(
+            variant, True, num_clients, duration, seed=seed
+        )
+        _, lock = ycsb_variant_run(
+            variant, False, num_clients, duration, seed=seed
+        )
+        sections[name] = {
+            "metrics": {
+                "throughput_tps": round(snap["throughput_tps"], 3),
+                "p50_ms": round(snap["p50_ms"], 6),
+                "p99_ms": round(snap["p99_ms"], 6),
+                "committed": snap["committed"],
+                "aborted": snap["aborted"],
+                "cluster_frames_per_txn": round(
+                    snap["cluster_frames_per_txn"], 6
+                ),
+            },
+            "counters": snap["counters"],
+            "locking": {
+                "throughput_tps": round(lock["throughput_tps"], 3),
+                "p50_ms": round(lock["p50_ms"], 6),
+                "p99_ms": round(lock["p99_ms"], 6),
+                "committed": lock["committed"],
+                "cluster_frames_per_txn": round(
+                    lock["cluster_frames_per_txn"], 6
+                ),
+            },
+            "gain": {
+                "throughput_x": round(
+                    snap["throughput_tps"]
+                    / max(lock["throughput_tps"], 1e-9),
+                    3,
+                ),
+                "p50_reduction": round(
+                    1.0 - snap["p50_ms"] / max(lock["p50_ms"], 1e-9), 3
+                ),
+            },
+        }
+    return sections
 
 
 def write_baseline(document: Dict[str, Any], path: str = BASELINE_PATH) -> None:
@@ -192,13 +275,28 @@ def format_baseline_deltas(
     current_metrics = current["metrics"]
     reference_metrics = reference["metrics"]
     rows = []
-    for name, direction in GATED_METRICS:
-        if name not in reference_metrics:
-            rows.append((name, "-", "%.3f" % float(current_metrics[name]),
+    gated = [
+        (name, direction, current_metrics, reference_metrics)
+        for name, direction in GATED_METRICS
+    ]
+    reference_workloads = reference.get("workloads") or {}
+    for workload, section in (current.get("workloads") or {}).items():
+        ref_section = reference_workloads.get(workload) or {}
+        for name, direction in WORKLOAD_GATED_METRICS:
+            gated.append((
+                "%s.%s" % (workload, name),
+                direction,
+                section["metrics"],
+                ref_section.get("metrics", {}),
+            ))
+    for name, direction, cur_metrics, ref_metrics in gated:
+        short = name.rsplit(".", 1)[-1]
+        if short not in ref_metrics:
+            rows.append((name, "-", "%.3f" % float(cur_metrics[short]),
                          "-", direction, "n/a"))
             continue
-        ref = float(reference_metrics[name])
-        cur = float(current_metrics[name])
+        ref = float(ref_metrics[short])
+        cur = float(cur_metrics[short])
         delta = (cur - ref) / ref if ref else 0.0
         if direction == "min":
             regressed = cur < ref * (1.0 - tolerance)
@@ -240,34 +338,73 @@ def format_baseline_deltas(
     return "\n\n".join(lines)
 
 
+def _gate_one(
+    name: str,
+    cur: float,
+    ref: float,
+    direction: str,
+    tolerance: float,
+    failures: List[str],
+) -> None:
+    """Apply one direction-aware band check, appending any failure."""
+    if direction == "min":
+        floor = ref * (1.0 - tolerance)
+        if cur < floor:
+            failures.append(
+                "%s regressed: %.3f < %.3f (baseline %.3f - %.0f%%)"
+                % (name, cur, floor, ref, tolerance * 100)
+            )
+    else:
+        ceiling = ref * (1.0 + tolerance)
+        # An absolute epsilon keeps near-zero baselines (e.g. a
+        # profile without stabilization, or the snapshot path's ~0
+        # frames/txn) from gating on noise.
+        if cur > ceiling and cur - ref > 1e-9:
+            failures.append(
+                "%s regressed: %.3f > %.3f (baseline %.3f + %.0f%%)"
+                % (name, cur, ceiling, ref, tolerance * 100)
+            )
+
+
 def check_baseline(
     current: Dict[str, Any],
     reference: Dict[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> List[str]:
-    """Direction-aware regression check; returns failure descriptions."""
+    """Direction-aware regression check; returns failure descriptions.
+
+    Workload-aware: per-workload sections present in both documents are
+    gated on :data:`WORKLOAD_GATED_METRICS` in addition to the headline
+    metrics; failure names carry the workload prefix.
+    """
     failures: List[str] = []
     current_metrics = current["metrics"]
     reference_metrics = reference["metrics"]
     for name, direction in GATED_METRICS:
         if name not in reference_metrics:
             continue  # older baseline file: nothing to gate against
-        ref = float(reference_metrics[name])
-        cur = float(current_metrics[name])
-        if direction == "min":
-            floor = ref * (1.0 - tolerance)
-            if cur < floor:
-                failures.append(
-                    "%s regressed: %.3f < %.3f (baseline %.3f - %.0f%%)"
-                    % (name, cur, floor, ref, tolerance * 100)
-                )
-        else:
-            ceiling = ref * (1.0 + tolerance)
-            # An absolute epsilon keeps near-zero baselines (e.g. a
-            # profile without stabilization) from gating on noise.
-            if cur > ceiling and cur - ref > 1e-9:
-                failures.append(
-                    "%s regressed: %.3f > %.3f (baseline %.3f + %.0f%%)"
-                    % (name, cur, ceiling, ref, tolerance * 100)
-                )
+        _gate_one(
+            name,
+            float(current_metrics[name]),
+            float(reference_metrics[name]),
+            direction,
+            tolerance,
+            failures,
+        )
+    reference_workloads = reference.get("workloads") or {}
+    for workload, section in (current.get("workloads") or {}).items():
+        ref_section = reference_workloads.get(workload)
+        if not ref_section:
+            continue  # new workload: nothing to gate against yet
+        for name, direction in WORKLOAD_GATED_METRICS:
+            if name not in ref_section["metrics"]:
+                continue
+            _gate_one(
+                "%s.%s" % (workload, name),
+                float(section["metrics"][name]),
+                float(ref_section["metrics"][name]),
+                direction,
+                tolerance,
+                failures,
+            )
     return failures

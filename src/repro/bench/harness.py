@@ -23,7 +23,9 @@ from .metrics import MetricsCollector
 
 __all__ = [
     "bench_scale",
+    "cluster_nic_tx_frames",
     "ycsb_distributed",
+    "ycsb_variant_run",
     "ycsb_single_node",
     "tpcc_distributed",
     "tpcc_single_node",
@@ -170,6 +172,88 @@ def ycsb_single_node(
     )
     _attach_phase_breakdown(metrics, cluster)
     return metrics
+
+
+def cluster_nic_tx_frames(cluster: TreatyCluster) -> int:
+    """Frames transmitted on the cluster fabric (node NICs only).
+
+    Client traffic rides separate front NICs, so differencing this
+    counter over a run isolates inter-node protocol traffic — the
+    quantity the snapshot-read fast path drives to zero.
+    """
+    total = 0
+    for node in cluster.nodes:
+        nic = cluster.fabric._nics.get(node.name)
+        if nic is not None:
+            total += nic.tx_frames
+    return total
+
+
+def ycsb_variant_run(
+    variant: str,
+    snapshot: bool,
+    num_clients: Optional[int] = None,
+    duration: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> Tuple[MetricsCollector, dict]:
+    """One standard YCSB mix ("a"/"b"/"c"/"e") on TREATY_FULL.
+
+    ``snapshot`` toggles the coordinator-free read path (and distributed
+    OCC) so callers can compare against the plain locking 2PC baseline
+    on the identical seed.  Returns the collector plus a stats dict with
+    cluster-fabric frame accounting and the read-only/OCC counters.
+    """
+    from ..config import TREATY_FULL
+
+    num_clients = num_clients or _scaled(24, 48)
+    duration = duration or _scaled(0.2, 0.6)
+    kwargs = dict(read_only_snapshot=snapshot, occ_distributed=snapshot)
+    if seed is not None:
+        kwargs["seed"] = seed
+    cluster = TreatyCluster(
+        profile=TREATY_FULL, config=ClusterConfig(**kwargs)
+    ).start()
+    ycsb = YcsbConfig.variant(variant, num_keys=2_000)
+    cluster.run(bulk_load(cluster, ycsb), name="load")
+    frames_before = cluster_nic_tx_frames(cluster)
+    metrics = MetricsCollector(
+        "ycsb-%s-%s" % (variant, "snapshot" if snapshot else "locking")
+    )
+    run_ycsb(
+        cluster,
+        ycsb,
+        metrics,
+        num_clients=num_clients,
+        duration=duration,
+        warmup=duration * 0.25,
+    )
+    frames = cluster_nic_tx_frames(cluster) - frames_before
+    committed = max(1, metrics.committed)
+    counters: dict = {}
+    for node in cluster.nodes:
+        for name in (
+            "txn.readonly.local",
+            "txn.readonly.upgraded",
+            "txn.readonly.conflicts",
+            "occ.validated",
+            "occ.conflicts",
+            "occ.retries",
+        ):
+            counters[name] = (
+                counters.get(name, 0)
+                + node.runtime.metrics.counter(name).value
+            )
+    stats = {
+        "committed": metrics.committed,
+        "aborted": metrics.aborted,
+        "throughput_tps": metrics.throughput(),
+        "p50_ms": metrics.percentile(50) * 1e3,
+        "p99_ms": metrics.percentile(99) * 1e3,
+        "cluster_frames": frames,
+        "cluster_frames_per_txn": frames / committed,
+        "counters": counters,
+    }
+    return metrics, stats
 
 
 # --- TPC-C ---------------------------------------------------------------------

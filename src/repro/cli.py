@@ -437,6 +437,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.mode == "smoke":
         if args.net_batch:
             return _bench_netbatch(args)
+        if args.read_mostly:
+            return _bench_read_mostly(args)
         return _bench_smoke(args)
     if args.mode == "scale-out":
         return _bench_scaleout(args)
@@ -534,6 +536,64 @@ def _bench_smoke(args: argparse.Namespace) -> int:
             print("MONITOR VIOLATION: %s" % violation, file=sys.stderr)
         return 1
     return 0
+
+
+def _bench_read_mostly(args: argparse.Namespace) -> int:
+    """Read-mostly fast-path gate (CI): snapshot reads must pay off.
+
+    Runs YCSB-C twice on the same seed — coordinator-free snapshot
+    reads on, then plain locking 2PC — and fails the build unless the
+    snapshot run (a) kept the cluster fabric quiet (frames per
+    committed transaction ≈ 0), (b) reduced p50 latency, and (c) did
+    not lose throughput against the locking path.
+    """
+    from .bench.harness import ycsb_variant_run
+    from .bench.reporting import format_table
+
+    _, snap = ycsb_variant_run("c", True, args.clients, args.duration)
+    _, lock = ycsb_variant_run("c", False, args.clients, args.duration)
+    rows = []
+    for label, stats in (("snapshot", snap), ("locking", lock)):
+        rows.append((
+            label,
+            "%d" % stats["committed"],
+            "%.0f" % stats["throughput_tps"],
+            "%.3f" % stats["p50_ms"],
+            "%.3f" % stats["cluster_frames_per_txn"],
+        ))
+    print(format_table(
+        "read-mostly fast path (YCSB-C, Treaty full)",
+        ("mode", "committed", "tput (tps)", "p50 ms", "cluster frames/txn"),
+        rows,
+    ))
+    counters = snap["counters"]
+    print("read-only   : %d local, %d upgraded, %d conflicts"
+          % (counters["txn.readonly.local"],
+             counters["txn.readonly.upgraded"],
+             counters["txn.readonly.conflicts"]))
+    failed = 0
+    if snap["cluster_frames_per_txn"] > 0.5:
+        print("FAIL: read-only transactions touched the cluster fabric "
+              "(%.3f frames/txn)" % snap["cluster_frames_per_txn"],
+              file=sys.stderr)
+        failed = 1
+    if snap["p50_ms"] >= lock["p50_ms"]:
+        print("FAIL: snapshot reads did not reduce YCSB-C p50 "
+              "(%.3f ms >= %.3f ms)" % (snap["p50_ms"], lock["p50_ms"]),
+              file=sys.stderr)
+        failed = 1
+    if snap["throughput_tps"] <= lock["throughput_tps"]:
+        print("FAIL: snapshot reads lost throughput "
+              "(%.0f tps <= %.0f tps)"
+              % (snap["throughput_tps"], lock["throughput_tps"]),
+              file=sys.stderr)
+        failed = 1
+    if not failed:
+        print("read-mostly gate PASSED: %.3f frames/txn, p50 %.3f ms "
+              "vs locking %.3f ms"
+              % (snap["cluster_frames_per_txn"], snap["p50_ms"],
+                 lock["p50_ms"]))
+    return failed
 
 
 def _bench_netbatch(args: argparse.Namespace) -> int:
@@ -808,6 +868,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--net-batch", action="store_true",
         help="smoke mode: compare transport batching off vs on and "
              "assert the frame/seal-op reduction (CI gate)",
+    )
+    bench.add_argument(
+        "--read-mostly", action="store_true",
+        help="smoke mode: gate the coordinator-free snapshot-read fast "
+             "path — YCSB-C cluster frames/txn must stay ~0 and its "
+             "p50/throughput must beat locking 2PC (CI gate)",
     )
     bench.add_argument(
         "--hist-out", default=None,

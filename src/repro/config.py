@@ -321,6 +321,28 @@ class ClusterConfig:
     #: above the prepare vote timeout so a slow-but-alive coordinator
     #: never races its own participants.
     decision_timeout_s: float = 3.0
+    #: distributed OCC (§II-A, §V-B extended across nodes): client
+    #: transactions opened with the OPTIMISTIC flag execute entirely
+    #: lock-free — reads are stateless versioned snapshots, writes are
+    #: buffered at the coordinator — and the PREPARE message carries each
+    #: participant's read-set versions and write-set.  Validation (and
+    #: short no-wait version pinning) runs inside the participant's
+    #: prepare critical section, riding the existing piggybacked group
+    #: stabilization round; a conflict answers PREPARE with a NACK and
+    #: presumed abort does the rest.  False restores the pre-extension
+    #: behaviour: the OPTIMISTIC flag yields a single-node OCC
+    #: transaction on the session's coordinator.
+    occ_distributed: bool = True
+    #: coordinator-free snapshot reads: client transactions opened in
+    #: read-only mode are routed per key to the owner node's front end,
+    #: execute against that node's storage snapshot, and commit without
+    #: any 2PC/coordinator round — each contacted node revalidates its
+    #: own read-set at commit and the stabilized counter frontier proves
+    #: the snapshot's freshness window (read-set seqs ≤ stable frontier;
+    #: a stale read waits out the covering round — never wrong results).
+    #: False makes read-only client transactions take the normal
+    #: coordinator path.
+    read_only_snapshot: bool = True
     #: coalesce concurrent small messages to the same destination into
     #: one multi-message frame (eRPC TxBurst-style doorbell batching):
     #: one NIC/driver charge, one propagation and one header per batch,

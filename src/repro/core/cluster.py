@@ -157,8 +157,20 @@ class TreatyCluster:
     def session(
         self, machine: ClientMachine, coordinator: int = 0
     ) -> ClientSession:
-        """Open a client session against ``nodes[coordinator]``."""
-        return machine.session(self.nodes[coordinator].front_address)
+        """Open a client session against ``nodes[coordinator]``.
+
+        The session learns every node's front address and the cluster
+        partitioner so that (a) read-only transactions route each read
+        to the key's owner (coordinator-free snapshot reads, gated on
+        ``read_only_snapshot``), and (b) a client whose coordinator dies
+        mid-commit can poll the survivors for the outcome.
+        """
+        return machine.session(
+            self.nodes[coordinator].front_address,
+            routes=[node.front_address for node in self.nodes],
+            partitioner=self.partitioner,
+            snapshot_reads=self.config.read_only_snapshot,
+        )
 
     # -- fault injection -----------------------------------------------------------
     def crash_node(self, index: int) -> None:

@@ -225,7 +225,8 @@ class TreatyNode:
             op_ids=self._resolution_op_id,
         )
         self.frontend = FrontEnd(
-            self.runtime, self.coordinator, self.manager, self.front_rpc
+            self.runtime, self.coordinator, self.manager, self.front_rpc,
+            participant=self.participant,
         )
 
     @property
@@ -308,6 +309,7 @@ class TreatyNode:
             self.clog = NullLog(self.runtime, self.clog_path)
         else:
             yield from self.engine.bootstrap()
+            self.pipeline.witness.advance_floor(self.engine.current_seq())
             self.clog = SecureLog(
                 self.runtime, self.disk, self.clog_path, self.keyring,
                 log_name=self.clog_path,
@@ -360,6 +362,9 @@ class TreatyNode:
             resolver = StableCounterResolver(self.counter_client)
 
         state, prepared_ids = yield from self.engine.recover(resolver)
+        # Recovery replays only the stable WAL prefix: every seq the
+        # recovered snapshot exposes is already rollback-protected.
+        self.pipeline.witness.advance_floor(self.engine.current_seq())
 
         # Clog: replay the 2PC state (§VI "Lastly, Clog is replayed").
         clog_path = state.live_clogs[-1] if state.live_clogs else self.clog_path

@@ -46,7 +46,7 @@ from ..sim.core import Event
 from ..tee.runtime import NodeRuntime
 from ..txn.group_commit import GroupCommitter
 from .rollback import RollbackProtection, make_backend
-from .stabilization import Stabilizer
+from .stabilization import FreshnessWitness, Stabilizer
 from .trusted_counter import CounterClient
 
 __all__ = ["DurabilityPipeline"]
@@ -81,6 +81,10 @@ class DurabilityPipeline:
         self.stabilizer = Stabilizer(
             runtime, counter_client, backend=self.rollback
         )
+        #: stable-sequence frontier for coordinator-free snapshot reads
+        #: (``read_only_snapshot``) — fed by the group committer's WAL
+        #: watermarks, queried by read-only transaction commits.
+        self.witness = FreshnessWitness(runtime, self.stabilizer)
         self.committer: Optional[GroupCommitter] = None
 
     @property

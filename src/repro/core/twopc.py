@@ -132,6 +132,50 @@ def _decode_value_reply(body: bytes) -> Optional[bytes]:
     return value if found else None
 
 
+# -- distributed OCC codecs (occ_distributed) --------------------------------
+
+def _encode_versioned_reply(
+    found: bool, value: Optional[bytes], seq: int
+) -> bytes:
+    return (
+        Writer().u32(1 if found else 0).blob(value or b"").u64(seq).getvalue()
+    )
+
+
+def _decode_versioned_reply(body: bytes) -> Tuple[Optional[bytes], int]:
+    reader = Reader(body)
+    found = reader.u32()
+    value = reader.blob()
+    seq = reader.u64()
+    return (value if found else None), seq
+
+
+def encode_occ_prepare(
+    reads: List[Tuple[bytes, int]],
+    writes: List[Tuple[bytes, Optional[bytes]]],
+) -> bytes:
+    """PREPARE body: the participant's read-set versions + write-set."""
+    writer = Writer().u32(len(reads))
+    for key, seq in reads:
+        writer.blob(key).u64(seq)
+    writer.u32(len(writes))
+    for key, value in writes:
+        writer.blob(key).u32(1 if value is None else 0).blob(value or b"")
+    return writer.getvalue()
+
+
+def decode_occ_prepare(body: bytes):
+    reader = Reader(body)
+    reads = [(reader.blob(), reader.u64()) for _ in range(reader.u32())]
+    writes = []
+    for _ in range(reader.u32()):
+        key = reader.blob()
+        tombstone = reader.u32()
+        value = reader.blob()
+        writes.append((key, None if tombstone else value))
+    return reads, writes
+
+
 class ClogRecord:
     """One coordinator-log entry: the 2PC protocol state (§V-A)."""
 
@@ -297,6 +341,12 @@ class Participant:
         )
         #: participant-local halves of distributed transactions.
         self.active: Dict[bytes, PessimisticTxn] = {}
+        #: final outcomes this node applied (or was instructed to
+        #: apply), keyed by encoded gid.  Answers client ``_OP_STATUS``
+        #: probes after a coordinator death: an *applied* outcome is
+        #: final (appliers verify quorum/decision evidence first), so
+        #: reporting it to a redirected client is safe.  Bounded FIFO.
+        self.applied: Dict[bytes, int] = {}
         self.prepares_served = 0
         self.commits_served = 0
         #: completer takeovers this incarnation performed.
@@ -304,6 +354,8 @@ class Participant:
         rpc.register(MsgType.TXN_READ, self._on_read)
         rpc.register(MsgType.TXN_WRITE, self._on_write)
         rpc.register(MsgType.TXN_SCAN, self._on_scan)
+        rpc.register(MsgType.TXN_READ_OCC, self._on_read_occ)
+        rpc.register(MsgType.TXN_SCAN_OCC, self._on_scan_occ)
         rpc.register(MsgType.TXN_PREPARE, self._on_prepare)
         rpc.register(MsgType.TXN_COMMIT, self._on_commit)
         rpc.register(MsgType.TXN_ABORT, self._on_abort)
@@ -349,6 +401,16 @@ class Participant:
     def _drop(self, message: TxMessage) -> None:
         self.active.pop(GlobalTxnId(message.node_id, message.txn_id).encode(), None)
 
+    #: cap on remembered final outcomes (old entries evicted FIFO).
+    APPLIED_CAP = 4096
+
+    def _record_outcome(self, gid_bytes: bytes, kind: int) -> None:
+        """Remember a final outcome for client ``_OP_STATUS`` probes."""
+        # 1 = committed, 2 = aborted (the client status codes).
+        self.applied[gid_bytes] = 1 if kind == ClogRecord.COMMIT else 2
+        while len(self.applied) > self.APPLIED_CAP:
+            self.applied.pop(next(iter(self.applied)))
+
     # -- handlers (ExecuteTxnReqHandler in Figure 2) -----------------------------
     def _on_read(self, message: TxMessage, src: str) -> Gen:
         txn = self._txn_for(message)
@@ -369,6 +431,27 @@ class Participant:
         except TransactionAborted as aborted:
             self._drop(message)
             return self._fail(message, str(aborted).encode())
+        return self._ack(message, encode_scan_reply(rows))
+
+    def _on_read_occ(self, message: TxMessage, src: str) -> Gen:
+        """Stateless versioned read (occ_distributed execution phase).
+
+        No participant-local transaction, no lock, no ``active`` entry:
+        the reply carries the key's current sequence number and the
+        coordinator validates it later inside PREPARE.
+        """
+        reader = Reader(message.body)
+        key = reader.blob()
+        value, seq = yield from self.manager.engine.get_with_seq(key)
+        return self._ack(
+            message, _encode_versioned_reply(value is not None, value, seq)
+        )
+
+    def _on_scan_occ(self, message: TxMessage, src: str) -> Gen:
+        """Stateless read-committed range scan (occ_distributed)."""
+        start, end, limit = decode_scan_request(message.body)
+        yield from self.runtime.op_overhead()
+        rows = yield from self.manager.engine.scan(start, end, limit=limit)
         return self._ack(message, encode_scan_reply(rows))
 
     def _on_write(self, message: TxMessage, src: str) -> Gen:
@@ -403,9 +486,19 @@ class Participant:
         before anyone acts on the decision, just via a shared round.
         """
         gid = GlobalTxnId(message.node_id, message.txn_id)
-        txn = self.active.get(gid.encode())
-        if txn is None or txn.status != TxnStatus.ACTIVE:
-            return self._fail(message, b"no active local txn")
+        if message.body:
+            # occ_distributed: the PREPARE carries this participant's
+            # read-set versions and write-set.  The local half is
+            # created here — execution was lock-free at the coordinator
+            # — and validation runs inside this prepare critical
+            # section, riding the piggybacked round below.
+            txn = yield from self._validate_occ(gid, message)
+            if txn is None:
+                return self._fail(message, b"validation conflict")
+        else:
+            txn = self.active.get(gid.encode())
+            if txn is None or txn.status != TxnStatus.ACTIVE:
+                return self._fail(message, b"no active local txn")
         try:
             counter, log_name = yield from txn.prepare()
         except TransactionAborted as aborted:
@@ -440,6 +533,44 @@ class Participant:
         )
         return self._ack(message)
 
+    def _validate_occ(self, gid: GlobalTxnId, message: TxMessage) -> Gen:
+        """Create + validate the OCC local half inside PREPARE.
+
+        Returns the pinned-and-validated transaction, or ``None`` when
+        validation conflicts (the caller NACKs; presumed abort cleans
+        up — the conflicting half has already rolled itself back).
+        """
+        key = gid.encode()
+        if key in self.active:
+            # Duplicate PREPARE (retry after a partial round): the half
+            # already exists, pins and all; just hand it back.
+            txn = self.active[key]
+            return txn if txn.status == TxnStatus.ACTIVE else None
+        reads, writes = decode_occ_prepare(message.body)
+        txn = self.manager.begin_occ_distributed(txn_id=key)
+        txn.load(reads, writes)
+        self.active[key] = txn
+        if self.replication:
+            self.runtime.sim.process(
+                self._orphan_fuse(key),
+                name="orphan-fuse@%s" % (self.node or "?"),
+            )
+        metrics = self.runtime.metrics
+        span = self.tracer.span(
+            "twopc", "validate", node=self.node, txn=key.hex(),
+            reads=len(reads), writes=len(writes),
+        )
+        try:
+            yield from txn.validate_and_pin()
+        except TransactionAborted:
+            span.close(outcome="conflict")
+            metrics.counter("occ.conflicts").inc()
+            self.active.pop(key, None)
+            return None
+        span.close(outcome="ok")
+        metrics.counter("occ.validated").inc()
+        return txn
+
     def _on_commit(self, message: TxMessage, src: str) -> Gen:
         gid = GlobalTxnId(message.node_id, message.txn_id)
         if self.replication:
@@ -453,6 +584,7 @@ class Participant:
                     ClogRecord.COMMIT, gid, [], [], "", 0, message.node_id
                 ),
             )
+        self._record_outcome(gid.encode(), ClogRecord.COMMIT)
         txn = self.active.pop(gid.encode(), None)
         if txn is None:
             # Already committed (e.g. duplicate instruction after the
@@ -484,6 +616,7 @@ class Participant:
                     ClogRecord.ABORT, gid, [], [], "", 0, message.node_id
                 ),
             )
+        self._record_outcome(gid.encode(), ClogRecord.ABORT)
         txn = self.active.pop(gid.encode(), None)
         if txn is not None:
             if txn.status == TxnStatus.PREPARED:
@@ -796,6 +929,7 @@ class Participant:
                 yield from self.pipeline.stabilize_group(
                     targets, txn=gid_bytes.hex(), phase="complete",
                 )
+        self._record_outcome(gid_bytes, ClogRecord.COMMIT)
         txn = self.active.pop(gid_bytes, None)
         apply_targets: List[Tuple[str, int]] = []
         if txn is not None:
@@ -830,6 +964,7 @@ class Participant:
     ) -> Gen:
         """Apply a final abort; drive peers we know about (best effort —
         every prepared peer runs its own watchdog anyway)."""
+        self._record_outcome(gid_bytes, ClogRecord.ABORT)
         txn = self.active.pop(gid_bytes, None)
         if txn is not None:
             if txn.status == TxnStatus.PREPARED:
@@ -928,9 +1063,14 @@ class Coordinator:
         self.aborts = 0
         rpc.register(MsgType.TXN_RESOLVE, self._on_resolve)
 
-    def begin(self) -> "GlobalTxn":
-        """BEGINTXN: create a global transaction handle."""
-        return GlobalTxn(self, self.allocator.next())
+    def begin(self, optimistic: bool = False) -> "GlobalTxn":
+        """BEGINTXN: create a global transaction handle.
+
+        ``optimistic`` selects distributed OCC (``occ_distributed``):
+        lock-free execution with validation inside each participant's
+        PREPARE critical section.
+        """
+        return GlobalTxn(self, self.allocator.next(), optimistic=optimistic)
 
     # -- Clog ---------------------------------------------------------------------
     @property
@@ -1157,7 +1297,12 @@ class Coordinator:
 class GlobalTxn:
     """A client-facing distributed transaction (Figure 2's lifecycle)."""
 
-    def __init__(self, coordinator: Coordinator, gid: GlobalTxnId):
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        gid: GlobalTxnId,
+        optimistic: bool = False,
+    ):
         self.coordinator = coordinator
         self.runtime = coordinator.runtime
         self.gid = gid
@@ -1166,6 +1311,17 @@ class GlobalTxn:
         #: numeric node ids of remote participants touched so far.
         self.remote_participants: Set[int] = set()
         self.status = TxnStatus.ACTIVE
+        #: distributed OCC (occ_distributed): execution takes no locks —
+        #: reads are stateless versioned snapshots, writes buffer here
+        #: at the coordinator — and PREPARE ships each participant its
+        #: validate/write sets.
+        self.optimistic = optimistic
+        #: key -> first observed version (the validate set).
+        self._occ_reads: Dict[bytes, int] = {}
+        #: key -> buffered value (None = tombstone), insertion-ordered.
+        self._occ_writes: Dict[bytes, Optional[bytes]] = {}
+        #: per-participant PREPARE bodies, built at commit time.
+        self._occ_bodies: Dict[int, bytes] = {}
 
     # -- helpers -----------------------------------------------------------------
     def _next_op(self) -> int:
@@ -1214,6 +1370,9 @@ class GlobalTxn:
     # -- interactive operations (TXNGET / TXNPUT) ----------------------------------
     def get(self, key: bytes) -> Gen:
         self._check_active()
+        if self.optimistic:
+            value = yield from self._get_occ(key)
+            return value
         owner = self.coordinator.partitioner(key)
         if owner == self.coordinator.node_numeric_id:
             try:
@@ -1231,6 +1390,31 @@ class GlobalTxn:
             raise TransactionAborted(reply.body.decode() or "remote read failed")
         return _decode_value_reply(reply.body)
 
+    def _get_occ(self, key: bytes) -> Gen:
+        """Lock-free versioned read (read-my-own-writes honoured)."""
+        if key in self._occ_writes:
+            return self._occ_writes[key]
+        owner = self.coordinator.partitioner(key)
+        if owner == self.coordinator.node_numeric_id:
+            value, seq = yield from self.coordinator.manager.engine.get_with_seq(
+                key
+            )
+        else:
+            reply = yield from self._remote_call(
+                owner,
+                self._message(MsgType.TXN_READ_OCC, _encode_read(key)),
+            )
+            if reply.msg_type != MsgType.ACK:
+                yield from self.rollback(failed_node=owner)
+                raise TransactionAborted(
+                    reply.body.decode() or "remote read failed"
+                )
+            value, seq = _decode_versioned_reply(reply.body)
+        # First observed version wins: validation must prove it never
+        # changed for the duration of the transaction.
+        self._occ_reads.setdefault(key, seq)
+        return value
+
     def put(self, key: bytes, value: bytes) -> Gen:
         yield from self._write(key, value)
 
@@ -1244,6 +1428,9 @@ class GlobalTxn:
         shards; a cross-shard range raises.
         """
         self._check_active()
+        if self.optimistic:
+            rows = yield from self._scan_occ(start, end, limit)
+            return rows
         owner = self.coordinator.partitioner(start)
         if owner == self.coordinator.node_numeric_id:
             try:
@@ -1262,8 +1449,60 @@ class GlobalTxn:
             raise TransactionAborted(reply.body.decode() or "remote scan failed")
         return decode_scan_reply(reply.body)
 
+    def _scan_occ(self, start: bytes, end: Optional[bytes], limit) -> Gen:
+        """Stateless read-committed scan, overlaid with buffered writes.
+
+        Scans stay read-committed in every transaction flavour (see
+        :meth:`LocalTransaction.scan`), so the owner does not join the
+        participant set for a scan-only contact.
+        """
+        owner = self.coordinator.partitioner(start)
+        if owner == self.coordinator.node_numeric_id:
+            yield from self.runtime.op_overhead()
+            rows = yield from self.coordinator.manager.engine.scan(
+                start, end, limit=None
+            )
+        else:
+            message = self._message(
+                MsgType.TXN_SCAN_OCC, encode_scan_request(start, end, None)
+            )
+            try:
+                reply = yield from self.coordinator.rpc.call(
+                    self._address_of(owner), message
+                )
+            except NetworkError as exc:
+                yield from self.rollback(failed_node=owner)
+                raise TransactionAborted("remote scan failed: %s" % exc)
+            if reply.msg_type != MsgType.ACK:
+                yield from self.rollback(failed_node=owner)
+                raise TransactionAborted(
+                    reply.body.decode() or "remote scan failed"
+                )
+            rows = decode_scan_reply(reply.body)
+        merged = dict(rows)
+        for key, value in self._occ_writes.items():
+            if key >= start and (end is None or key < end):
+                if value is None:
+                    merged.pop(key, None)
+                else:
+                    merged[key] = value
+        result = sorted(merged.items())
+        if limit is not None:
+            result = result[:limit]
+        return result
+
     def _write(self, key: bytes, value: Optional[bytes]) -> Gen:
         self._check_active()
+        if self.optimistic:
+            # Lock-free execution: the write buffers at the coordinator
+            # and ships inside the owner's PREPARE — zero execution-phase
+            # round trips for writes.
+            yield from self.runtime.op_overhead()
+            self._occ_writes[key] = value
+            owner = self.coordinator.partitioner(key)
+            if owner != self.coordinator.node_numeric_id:
+                self.remote_participants.add(owner)
+            return
         owner = self.coordinator.partitioner(key)
         if owner == self.coordinator.node_numeric_id:
             try:
@@ -1291,6 +1530,10 @@ class GlobalTxn:
         writes sharing an owner coalesce into the same transport batch.
         """
         self._check_active()
+        if self.optimistic:
+            for key, value in pairs:
+                yield from self._write(key, value)
+            return
         events = []
         owners = []
         for key, value in pairs:
@@ -1326,6 +1569,9 @@ class GlobalTxn:
     def commit(self) -> Gen:
         """TXNCOMMIT: single-node fast path or full secure 2PC."""
         self._check_active()
+        if self.optimistic:
+            counter = yield from self._commit_occ()
+            return counter
         if not self.remote_participants:
             # Single-node transaction (§V-B): no 2PC needed.
             counter = 0
@@ -1336,6 +1582,82 @@ class GlobalTxn:
             return counter
         yield from self._commit_distributed()
         return 0
+
+    def _commit_occ(self) -> Gen:
+        """Commit a distributed OCC transaction.
+
+        Groups the validate/write sets per owner, builds each
+        participant's PREPARE body, and runs either the single-node fast
+        path (validate + group commit locally, no 2PC) or the normal
+        distributed commit with validation riding PREPARE.
+        """
+        coordinator = self.coordinator
+        local_id = coordinator.node_numeric_id
+        reads_by: Dict[int, List[Tuple[bytes, int]]] = {}
+        writes_by: Dict[int, List[Tuple[bytes, Optional[bytes]]]] = {}
+        for key, seq in self._occ_reads.items():
+            reads_by.setdefault(coordinator.partitioner(key), []).append(
+                (key, seq)
+            )
+        for key, value in self._occ_writes.items():
+            writes_by.setdefault(coordinator.partitioner(key), []).append(
+                (key, value)
+            )
+        owners = set(reads_by) | set(writes_by)
+        self.remote_participants.update(owners - {local_id})
+        if local_id in owners:
+            txn = coordinator.manager.begin_occ_distributed(
+                txn_id=self.gid.encode()
+            )
+            txn.load(reads_by.get(local_id, []), writes_by.get(local_id, []))
+            self._local_txn = txn
+        if not self.remote_participants:
+            counter = yield from self._commit_occ_local()
+            return counter
+        self._occ_bodies = {
+            node: encode_occ_prepare(
+                reads_by.get(node, []), writes_by.get(node, [])
+            )
+            for node in self.remote_participants
+        }
+        yield from self._commit_distributed()
+        return 0
+
+    def _commit_occ_local(self) -> Gen:
+        """Single-node OCC fast path (§V-B): no Clog, no 2PC rounds."""
+        coordinator = self.coordinator
+        if self._local_txn is None:
+            self.status = TxnStatus.COMMITTED
+            coordinator.local_commits += 1
+            return 0
+        ok = yield from self._validate_local_occ(self._local_txn)
+        if not ok:
+            self.status = TxnStatus.ABORTED
+            coordinator.aborts += 1
+            raise TransactionAborted("validation conflict")
+        counter = yield from self._local_txn.commit()
+        self.status = TxnStatus.COMMITTED
+        coordinator.local_commits += 1
+        return counter
+
+    def _validate_local_occ(self, txn) -> Gen:
+        """Validate + pin the coordinator's own half; False on conflict
+        (the half has rolled itself back)."""
+        metrics = self.runtime.metrics
+        span = self.coordinator.tracer.span(
+            "twopc", "validate", node=self.coordinator.node,
+            txn=self.gid.encode().hex(),
+            reads=len(txn.reads), writes=len(txn.buffer),
+        )
+        try:
+            yield from txn.validate_and_pin()
+        except TransactionAborted:
+            span.close(outcome="conflict")
+            metrics.counter("occ.conflicts").inc()
+            return False
+        span.close(outcome="ok")
+        metrics.counter("occ.validated").inc()
+        return True
 
     def _commit_distributed(self) -> Gen:
         # Root of the transaction's cross-node span DAG: the trace id is
@@ -1381,9 +1703,21 @@ class GlobalTxn:
         # the decision (it learns the abort when it recovers).  The
         # broadcast enqueues every destination in one instant, so each
         # destination's PREPARE coalesces with concurrent rounds.
+        # Under OCC each PREPARE carries that participant's validate and
+        # write sets; bodies differ per destination but the broadcast
+        # still enqueues them in one instant, so the transport's doorbell
+        # window coalesces per destination as before.
         events = coordinator.rpc.broadcast(
             [
-                (self._address_of(node), self._message(MsgType.TXN_PREPARE))
+                (
+                    self._address_of(node),
+                    self._message(
+                        MsgType.TXN_PREPARE,
+                        self._occ_bodies.get(node)
+                        or (encode_occ_prepare([], []) if self.optimistic
+                            else b""),
+                    ),
+                )
                 for node in participants
             ]
         )
@@ -1567,8 +1901,15 @@ class GlobalTxn:
         self.runtime.sim.process(log_complete(), name="clog-complete")
 
     def _prepare_local(self) -> Gen:
+        txn = self._local()
+        if self.optimistic:
+            # Validation runs inside the same window as the remote
+            # PREPAREs — the local half of the OCC-in-PREPARE rule.
+            ok = yield from self._validate_local_occ(txn)
+            if not ok:
+                return False
         try:
-            counter, log_name = yield from self._local().prepare()
+            counter, log_name = yield from txn.prepare()
         except TransactionAborted:
             return False
         if self.coordinator.piggyback:

@@ -81,6 +81,12 @@ class MsgType:
     #: commit_replication: a timed-out participant asks its peers what
     #: decision (if any) they hold for an in-doubt transaction.
     DECISION_QUERY = 20
+    #: occ_distributed: stateless versioned read — returns (found,
+    #: value, seq) without creating a participant-local transaction or
+    #: taking any lock.
+    TXN_READ_OCC = 21
+    #: occ_distributed: stateless read-committed range scan.
+    TXN_SCAN_OCC = 22
 
     NAMES = {
         1: "TXN_READ",
@@ -103,6 +109,8 @@ class MsgType:
         18: "TXN_FENCE",
         19: "DECISION_RECORD",
         20: "DECISION_QUERY",
+        21: "TXN_READ_OCC",
+        22: "TXN_SCAN_OCC",
     }
 
 

@@ -57,6 +57,10 @@ class Nic:
         self._egress = Resource(fabric.sim, capacity=1)
         self.tx_bytes = 0
         self.rx_bytes = 0
+        #: per-NIC frame counters; benchmarks difference the cluster
+        #: NICs over a run to pin "zero coordinator rounds" claims.
+        self.tx_frames = 0
+        self.rx_frames = 0
 
     def transmit(self, frame: Frame) -> Generator[Event, Any, None]:
         """Serialize ``frame`` onto the link, then hand it to the fabric.
@@ -79,6 +83,7 @@ class Nic:
             self.fabric.dropped_frames += 1
             return
         self.tx_bytes += frame.wire_bytes
+        self.tx_frames += 1
         self.fabric.tx_bytes_total += frame.wire_bytes
         self.fabric.route(frame, self.propagation)
 
@@ -88,6 +93,7 @@ class Nic:
 
     def _deliver(self, frame: Frame) -> None:
         self.rx_bytes += frame.wire_bytes
+        self.rx_frames += 1
         self.inbox.put(frame)
 
 

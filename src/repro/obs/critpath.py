@@ -26,6 +26,9 @@ Categories (the paper's §VIII decomposition):
   driver round nobody is blocked on) does not appear here at all —
   the walk only attributes segments of the commit path.
 * ``lock``       — contended lock waits (cat ``locks``).
+* ``validate``   — distributed-OCC read-set validation + version
+  pinning inside the prepare critical section (cat ``twopc``, name
+  ``validate``).
 * ``group_commit`` — the group-commit queue/window/WAL wait (cat
   ``storage``, name ``group_commit``).
 * ``storage``    — WAL/Clog appends, flushes, compactions (other cat
@@ -71,6 +74,7 @@ CATEGORIES = (
     "counter-wait",
     "counter-round",
     "lock",
+    "validate",
     "group_commit",
     "storage",
     "tee",
@@ -111,6 +115,10 @@ def categorize(span: Record) -> str:
         # Non-blocking commit: the quorum-acknowledgement wait on the
         # replicated decision, and a completer's takeover drive.
         return "decision"
+    if cat == "twopc" and span["name"] == "validate":
+        # Distributed OCC: read-set validation + version pinning inside
+        # the participant's prepare critical section.
+        return "validate"
     return "compute"
 
 

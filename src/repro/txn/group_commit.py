@@ -223,6 +223,16 @@ class GroupCommitter:
         counters = yield from self.engine.log_commits(records)
         log_name = self.engine.wal_log_name
         self._batch_hist.observe(len(admitted))
+        if self.pipeline is not None:
+            # Seqs were assigned in batch order before the WAL counters,
+            # and batches are serialized by the leader critical section,
+            # so this watermark is monotone in both coordinates — the
+            # freshness witness for coordinator-free snapshot reads.
+            seqs = [seq for _, writes in records for _, _, seq in writes]
+            if seqs:
+                self.pipeline.witness.record(
+                    log_name, max(counters), max(seqs)
+                )
         stable_event = None
         if self.pipeline is not None and self.pipeline.enabled:
             top = max(

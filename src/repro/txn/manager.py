@@ -17,8 +17,9 @@ from ..storage.engine import LSMEngine
 from ..tee.runtime import NodeRuntime
 from .group_commit import GroupCommitter
 from .locks import LockTable
-from .optimistic import OptimisticTxn
+from .optimistic import DistributedOccTxn, OptimisticTxn
 from .pessimistic import PessimisticTxn
+from .readonly import ReadOnlySnapshotTxn
 
 __all__ = ["TransactionManager"]
 
@@ -88,6 +89,20 @@ class TransactionManager:
         """BEGINTXN with optimistic concurrency control."""
         self.begun += 1
         return OptimisticTxn(self, txn_id or self._next_txn_id("o"))
+
+    def begin_occ_distributed(
+        self, txn_id: Optional[bytes] = None
+    ) -> DistributedOccTxn:
+        """Participant-local half of a distributed OCC transaction."""
+        self.begun += 1
+        return DistributedOccTxn(self, txn_id or self._next_txn_id("do"))
+
+    def begin_readonly(
+        self, txn_id: Optional[bytes] = None
+    ) -> ReadOnlySnapshotTxn:
+        """One node's slice of a coordinator-free read-only transaction."""
+        self.begun += 1
+        return ReadOnlySnapshotTxn(self, txn_id or self._next_txn_id("ro"))
 
     # -- stabilization hook --------------------------------------------------------
     def stabilize(self, log_name: str, counter: int) -> Gen:

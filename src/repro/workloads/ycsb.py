@@ -18,7 +18,11 @@ from ..core.cluster import TreatyCluster
 from ..errors import TransactionAborted
 from ..sim.core import Event
 from ..sim.rng import SeededRng
-from .zipf import ScrambledZipfianGenerator, UniformGenerator
+from .zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
 
 __all__ = [
     "YcsbConfig",
@@ -47,6 +51,34 @@ class YcsbConfig:
     #: (ROADMAP: partitioned workloads) keeps ~90 % of transactions
     #: single-shard; the rest fan out through 2PC as usual.
     locality: float = 0.0
+    #: probability that an operation is a range scan (YCSB-E); drawn
+    #: before the read/update split.
+    scan_proportion: float = 0.0
+    #: scan lengths are zipf-bounded in ``[1, max_scan_length]`` (short
+    #: scans dominate, the standard YCSB-E shape).
+    max_scan_length: int = 100
+    #: run transactions that turn out write-free as coordinator-free
+    #: snapshot reads (client-routed; requires ``read_only_snapshot``).
+    read_only: bool = False
+
+    #: the standard YCSB mixes.  E replaces inserts with updates (the
+    #: simulated keyspace is fixed); B/C/E default to the read-only
+    #: snapshot path for their write-free transactions.
+    VARIANTS = {
+        "a": dict(read_proportion=0.5),
+        "b": dict(read_proportion=0.95, read_only=True),
+        "c": dict(read_proportion=1.0, read_only=True),
+        "e": dict(
+            read_proportion=0.0, scan_proportion=0.95, read_only=True
+        ),
+    }
+
+    @classmethod
+    def variant(cls, name: str, **overrides) -> "YcsbConfig":
+        """The named standard mix ("a"/"b"/"c"/"e"), with overrides."""
+        params = dict(cls.VARIANTS[name.lower()])
+        params.update(overrides)
+        return cls(**params)
 
     def key(self, index: int) -> bytes:
         return self.key_prefix + b"user%08d" % index
@@ -93,6 +125,13 @@ class YcsbWorkload:
             )
         else:
             raise ValueError("unknown distribution %r" % config.distribution)
+        self._scan_len: Optional[ZipfianGenerator] = None
+        if config.scan_proportion > 0.0:
+            # Plain (unscrambled) zipfian so rank 0 — the hottest draw —
+            # maps to the shortest scan: short ranges dominate.
+            self._scan_len = ZipfianGenerator(
+                config.max_scan_length, rng.child("scan-len")
+            )
         self._home_keys: Optional[List[int]] = None
         if config.locality > 0.0 and shard_keys is not None:
             if home_shard is None:
@@ -101,8 +140,13 @@ class YcsbWorkload:
             self._home_keys = home if home else None
         self._op_counter = 0
 
-    def next_transaction(self) -> List[Tuple[str, bytes, Optional[bytes]]]:
-        """A list of ('read'|'update', key, value_or_None) operations."""
+    def next_transaction(self) -> List[Tuple[str, bytes, Any]]:
+        """A list of (kind, key, argument) operations.
+
+        Kinds: ``('read', key, None)``, ``('update', key, value)``,
+        ``('scan', start_key, length)`` — the scan length is the third
+        slot (zipf-bounded; short ranges dominate).
+        """
         local = (
             self._home_keys is not None
             and self.rng.random() < self.config.locality
@@ -115,7 +159,12 @@ class YcsbWorkload:
             else:
                 index = self._keygen.next()
             key = self.config.key(index)
-            if self.rng.random() < self.config.read_proportion:
+            if (
+                self._scan_len is not None
+                and self.rng.random() < self.config.scan_proportion
+            ):
+                ops.append(("scan", key, 1 + self._scan_len.next()))
+            elif self.rng.random() < self.config.read_proportion:
                 ops.append(("read", key, None))
             else:
                 self._op_counter += 1
@@ -123,6 +172,11 @@ class YcsbWorkload:
                     ("update", key, self.config.value(index, self._op_counter))
                 )
         return ops
+
+    @staticmethod
+    def is_read_only(ops: List[Tuple[str, bytes, Any]]) -> bool:
+        """Whether a transaction's operation list is write-free."""
+        return all(kind != "update" for kind, _, _ in ops)
 
 
 def bulk_load(cluster: TreatyCluster, config: YcsbConfig) -> Gen:
@@ -147,6 +201,12 @@ def bulk_load(cluster: TreatyCluster, config: YcsbConfig) -> Gen:
             part = batch[start : start + chunk]
             yield from engine.log_commit(b"load", part)
             yield from engine.apply_writes(part)
+        # Load-phase writes bypass the group committer, so no freshness
+        # mark covers their seqs; advance the snapshot-read floor like
+        # bootstrap does, or read-only commits would wait forever on a
+        # write-free workload.
+        if node.pipeline is not None:
+            node.pipeline.witness.advance_floor(engine.current_seq())
 
 
 #: bursty arrivals: mean transactions per on-burst (geometric).
@@ -206,6 +266,9 @@ def run_ycsb(
         machine = machines[client_index % len(machines)]
         coordinator = client_index % cluster.num_nodes
         session = cluster.session(machine, coordinator=coordinator)
+        retry_counter = cluster.nodes[coordinator].runtime.metrics.counter(
+            "occ.retries"
+        )
         rng = SeededRng(cluster.config.seed, "ycsb-client", str(client_index))
         workload = YcsbWorkload(
             config, rng, shard_keys=shard_keys, home_shard=coordinator
@@ -222,20 +285,32 @@ def run_ycsb(
                     continue
                 burst_left -= 1
             ops = workload.next_transaction()
+            read_only = (
+                config.read_only
+                and session.snapshot_reads
+                and YcsbWorkload.is_read_only(ops)
+            )
             txn_start = sim.now
             committed = False
             for _attempt in range(max_retries + 1):
-                txn = session.begin(optimistic=config.optimistic)
+                txn = session.begin(
+                    optimistic=config.optimistic and not read_only,
+                    read_only=read_only,
+                )
                 try:
                     for kind, key, value in ops:
                         if kind == "read":
                             yield from txn.get(key)
+                        elif kind == "scan":
+                            yield from txn.scan(key, None, limit=value)
                         else:
                             yield from txn.put(key, value)
                     yield from txn.commit()
                     committed = True
                     break
                 except TransactionAborted:
+                    if _attempt < max_retries:
+                        retry_counter.inc()
                     continue
             if committed:
                 metrics.record(txn_start, sim.now)

@@ -38,6 +38,13 @@ Failing seeds can be exported for offline triage: set
 JSON (``chrome://tracing`` / Perfetto) of the full run.  The seed count
 defaults to one pass over every crash scenario; CI widens it with
 ``CRASH_CONFORMANCE_SEEDS=<count>`` or ``<start>:<stop>``.
+
+``CRASH_CONFORMANCE_OCC=1`` reruns the whole sweep under distributed
+OCC: every workload transaction executes lock-free and validates inside
+the participants' PREPARE critical sections, so the same crash points
+now land on validators mid-prepare (e.g. ``twopc/prepare_target`` fires
+after validation, inside the prepare critical section).  I1–I5 and the
+atomicity/durability audits must hold identically.
 """
 
 import os
@@ -73,6 +80,11 @@ def _backend_list():
         "CRASH_CONFORMANCE_BACKENDS", "counter-sync,counter-async,lcm"
     )
     return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def _occ_mode():
+    """Whether the sweep drives distributed-OCC transactions."""
+    return os.environ.get("CRASH_CONFORMANCE_OCC") == "1"
 
 
 def _backend_config(seed, backend, piggyback):
@@ -149,7 +161,7 @@ def test_crash_point_conformance(seed, backend):
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     try:
         _run_one_seed(cluster, rng, point, occurrence, victim_offset,
-                      no_restart=no_restart)
+                      no_restart=no_restart, occ=_occ_mode())
     except BaseException:
         trace_dir = os.environ.get("CRASH_CONFORMANCE_TRACE_DIR")
         if trace_dir:
@@ -185,14 +197,14 @@ def _export_critical_paths(records, path):
 
 
 def _run_one_seed(cluster, rng, point, occurrence, victim_offset,
-                  no_restart=False):
+                  no_restart=False, occ=False):
     sim = cluster.sim
     txns = spread_txns(cluster, count=6)
     outcomes = ["pending"] * len(txns)
 
     def drive(index, coord, pairs, delay):
         yield sim.timeout(delay)
-        txn = cluster.nodes[coord].coordinator.begin()
+        txn = cluster.nodes[coord].coordinator.begin(optimistic=occ)
         put_done = [False]
 
         def put_phase():

@@ -308,6 +308,109 @@ class TestNoSpuriousTakeover:
         assert not takeover_events
 
 
+# -- completer-driven client redirect -----------------------------------------
+
+
+class TestClientRedirect:
+    def test_client_learns_commit_from_survivors(self):
+        """A client whose coordinator dies after the decision quorum
+        (ack never sent) must not report a false abort: it polls the
+        survivors' applied records (``_OP_STATUS``) and returns success
+        once a completer has driven the commit home."""
+        cluster = TreatyCluster(
+            profile=TREATY_FULL,
+            config=_config(13, "counter-sync", piggyback=True),
+        ).start()
+        sim = cluster.sim
+        machine = cluster.client_machine()
+        session = cluster.session(machine, coordinator=COORDINATOR)
+        pairs = [
+            (_distinct_keys(cluster, i, 1, b"redir")[0], b"redir-val")
+            for i in range(cluster.num_nodes)
+        ]
+
+        # Kill the coordinator the instant it counts its decision
+        # replication quorum: survivors hold the commit slot, but the
+        # client's COMMIT reply is never sent.
+        injector = CrashInjector(
+            cluster, ("twopc", "decision-quorum"), 1, 0,
+            victim=COORDINATOR, permanent=True,
+        ).arm()
+        result = {}
+
+        def body():
+            txn = session.begin()
+            for key, value in pairs:
+                yield from txn.put(key, value)
+            try:
+                yield from txn.commit()
+                result["outcome"] = "committed"
+            except TransactionAborted as exc:
+                result["outcome"] = "aborted: %s" % exc
+
+        sim.process(body(), name="redirect-client")
+        sim.run(until=sim.now + 12.0)
+
+        assert injector.crashed == COORDINATOR
+        assert result.get("outcome") == "committed"
+        assert session.redirected == 1
+        assert session.committed == 1 and session.aborted == 0
+        # The learned outcome is real: writes visible on every survivor.
+        for key, expected in pairs:
+            value = _read_survivor(cluster, key, COORDINATOR)
+            if value is not _DEAD:
+                assert value == expected
+        monitor = cluster.obs.monitor
+        monitor.check_quiescent(now=sim.now)
+        assert monitor.green, monitor.violations
+
+    def test_unknown_outcome_still_aborts(self):
+        """If the coordinator dies before any decision exists, the poll
+        drains UNKNOWN until its deadline and the client sees the abort
+        (presumed abort: the completers roll the transaction back)."""
+        cluster = TreatyCluster(
+            profile=TREATY_FULL,
+            config=_config(17, "counter-sync", piggyback=True),
+        ).start()
+        sim = cluster.sim
+        machine = cluster.client_machine()
+        session = cluster.session(machine, coordinator=COORDINATOR)
+        pairs = [
+            (_distinct_keys(cluster, i, 1, b"redab")[0], b"redab-val")
+            for i in range(cluster.num_nodes)
+        ]
+
+        # Crash on the first prepare targeting: no decision was ever
+        # formed, so no survivor can report COMMITTED.
+        injector = CrashInjector(
+            cluster, ("twopc", "prepare_target"), 1, 0,
+            victim=COORDINATOR, permanent=True,
+        ).arm()
+        result = {}
+
+        def body():
+            txn = session.begin()
+            try:
+                for key, value in pairs:
+                    yield from txn.put(key, value)
+                yield from txn.commit()
+                result["outcome"] = "committed"
+            except TransactionAborted:
+                result["outcome"] = "aborted"
+
+        sim.process(body(), name="redirect-client-abort")
+        sim.run(until=sim.now + 16.0)
+
+        assert injector.crashed == COORDINATOR
+        assert result.get("outcome") == "aborted"
+        assert session.redirected == 0
+        # No partial write survives anywhere.
+        for key, _expected in pairs:
+            value = _read_survivor(cluster, key, COORDINATOR)
+            if value is not _DEAD:
+                assert value is None
+
+
 # -- pin: same-instant completer race is exactly-once -------------------------
 
 

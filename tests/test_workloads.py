@@ -89,6 +89,61 @@ class TestYcsbGenerator:
         with pytest.raises(ValueError):
             YcsbWorkload(YcsbConfig(distribution="pareto"), SeededRng(1, "y4"))
 
+    def test_variants_match_standard_mixes(self):
+        assert YcsbConfig.variant("a").read_proportion == 0.5
+        assert not YcsbConfig.variant("a").read_only
+        b = YcsbConfig.variant("b")
+        assert b.read_proportion == 0.95 and b.read_only
+        c = YcsbConfig.variant("C")  # case-insensitive
+        assert c.read_proportion == 1.0 and c.read_only
+        e = YcsbConfig.variant("e")
+        assert e.scan_proportion == 0.95 and e.read_only
+        with pytest.raises(KeyError):
+            YcsbConfig.variant("f")
+
+    def test_variant_overrides_apply(self):
+        config = YcsbConfig.variant("c", num_keys=77, read_only=False)
+        assert config.num_keys == 77
+        assert config.read_proportion == 1.0
+        assert not config.read_only
+
+    def test_scan_lengths_zipf_bounded(self):
+        config = YcsbConfig.variant("e", max_scan_length=40)
+        workload = YcsbWorkload(config, SeededRng(5, "y5"))
+        lengths = [
+            value
+            for _ in range(200)
+            for kind, _, value in workload.next_transaction()
+            if kind == "scan"
+        ]
+        assert lengths, "YCSB-E must emit scans"
+        assert all(1 <= length <= 40 for length in lengths)
+        # Zipf-shaped: short scans dominate the draw.
+        short = sum(1 for length in lengths if length <= 5)
+        assert short / len(lengths) > 0.5
+
+    def test_scan_proportion_respected(self):
+        config = YcsbConfig.variant("e")
+        workload = YcsbWorkload(config, SeededRng(6, "y6"))
+        ops = [op for _ in range(300) for op in workload.next_transaction()]
+        scans = sum(1 for kind, _, _ in ops if kind == "scan")
+        assert 0.90 < scans / len(ops) <= 1.0
+
+    def test_is_read_only(self):
+        assert YcsbWorkload.is_read_only(
+            [("read", b"k", None), ("scan", b"k", 5)]
+        )
+        assert not YcsbWorkload.is_read_only(
+            [("read", b"k", None), ("update", b"k", b"v")]
+        )
+        assert YcsbWorkload.is_read_only([])
+
+    def test_ycsb_c_emits_no_updates(self):
+        config = YcsbConfig.variant("c")
+        workload = YcsbWorkload(config, SeededRng(7, "y7"))
+        for _ in range(100):
+            assert YcsbWorkload.is_read_only(workload.next_transaction())
+
 
 class TestYcsbDriver:
     def test_end_to_end_run_collects_metrics(self):
@@ -115,6 +170,46 @@ class TestYcsbDriver:
         config = YcsbConfig(num_keys=50, value_size=32)
         with pytest.raises(ValueError):
             run_ycsb(cluster, config, MetricsCollector(), arrivals="poisson")
+
+    def test_snapshot_reads_use_zero_cluster_frames(self):
+        # The tentpole claim, pinned: a pure-read workload in snapshot
+        # mode performs ZERO coordinator rounds — no frame crosses the
+        # inter-node cluster fabric during the measured run.
+        from repro.bench.harness import cluster_nic_tx_frames
+        from repro.config import ClusterConfig
+
+        cluster = TreatyCluster(
+            profile=TREATY_ENC,
+            config=ClusterConfig(read_only_snapshot=True),
+        ).start()
+        config = YcsbConfig.variant("c", num_keys=200, value_size=100)
+        cluster.run(bulk_load(cluster, config), name="load")
+        frames_before = cluster_nic_tx_frames(cluster)
+        metrics = MetricsCollector()
+        run_ycsb(
+            cluster, config, metrics, num_clients=4, duration=0.3,
+            warmup=0.05,
+        )
+        assert metrics.committed > 10
+        assert cluster_nic_tx_frames(cluster) == frames_before
+
+    def test_ycsb_e_scans_commit_via_snapshot_reads(self):
+        from repro.config import ClusterConfig
+
+        cluster = TreatyCluster(
+            profile=TREATY_ENC,
+            config=ClusterConfig(read_only_snapshot=True),
+        ).start()
+        config = YcsbConfig.variant(
+            "e", num_keys=200, value_size=100, max_scan_length=20
+        )
+        cluster.run(bulk_load(cluster, config), name="load")
+        metrics = MetricsCollector()
+        run_ycsb(
+            cluster, config, metrics, num_clients=4, duration=0.3,
+            warmup=0.05,
+        )
+        assert metrics.committed > 5
 
     def test_bulk_load_visible_through_transactions(self):
         cluster = TreatyCluster(profile=TREATY_ENC).start()
