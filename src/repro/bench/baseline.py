@@ -59,6 +59,10 @@ GATED_METRICS = (
     ("frames_per_txn", "max"),
     ("seal_ops_per_txn", "max"),
     ("counter_rounds_per_txn", "max"),
+    # p99/p50 critical-path total: the tail may not detach from the
+    # median (a convoy or a stalled background driver shows up here
+    # before it moves the p99 absolute number past its band).
+    ("tail_amplification_x", "max"),
 )
 
 #: default regression tolerance.  Same-seed runs reproduce exactly; the
@@ -112,6 +116,9 @@ def run_baseline(
         seed=seed,
         rollback_backend=backend,
         counter_shards=shards,
+        flight_recorder=True,
+        timeseries=True,
+        incidents=True,
     )
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     ycsb = YcsbConfig(read_proportion=0.5, num_keys=2_000)
@@ -133,6 +140,11 @@ def run_baseline(
     durability = metrics.extra_info["obs"]["durability"]
     records = cluster.obs.records()
     aggregate = aggregate_critical_paths(records)
+    obs = cluster.obs
+    obs.timeseries.flush()
+    timeline = dict(obs.timeseries.summary())
+    timeline["incidents"] = obs.incidents.counts()
+    tail = _tail_breakdown(aggregate)
 
     critical_path: Dict[str, Any] = {
         "txns": aggregate["count"],
@@ -175,15 +187,58 @@ def run_baseline(
             "counter_rounds_per_txn": round(
                 durability.get("rounds_per_committed_txn", 0.0), 6
             ),
+            "tail_amplification_x": tail["amplification_x"],
         },
         "critical_path": critical_path,
+        "timeline": timeline,
+        "tail": tail,
         "_aggregate": aggregate,  # stripped before serialization
+        "_timeseries": obs.timeseries,
+        "_incidents": obs.incidents,
+        "_recorder": obs.recorder,
     }
     if workloads:
         document["workloads"] = run_workload_profiles(
             num_clients=num_clients, duration=duration, seed=seed
         )
     return document
+
+
+def _tail_breakdown(aggregate: Dict[str, Any]) -> Dict[str, Any]:
+    """p99-vs-p50 critical-path comparison: where the tail's time goes.
+
+    Splits the per-transaction critical-path totals at their p99 and
+    compares, per category, the tail transactions' share of time against
+    the overall share — the section that answers "the p99 is 3x the p50;
+    which phase is responsible".
+    """
+    totals = aggregate["totals"]
+    if not totals:
+        return {"txns": 0, "amplification_x": 1.0, "categories": {}}
+    p50 = percentile(totals, 50)
+    p99 = percentile(totals, 99)
+    tail_index = [i for i, total in enumerate(totals) if total >= p99]
+    tail_time = sum(totals[i] for i in tail_index) or 1.0
+    all_time = sum(totals) or 1.0
+    categories: Dict[str, Any] = {}
+    for category in CATEGORIES:
+        samples = aggregate["categories"][category]
+        share_all = sum(samples) / all_time
+        share_tail = sum(samples[i] for i in tail_index) / tail_time
+        if share_all == 0.0 and share_tail == 0.0:
+            continue
+        categories[category] = {
+            "share": round(share_all, 6),
+            "tail_share": round(share_tail, 6),
+            "delta_pp": round((share_tail - share_all) * 100, 3),
+        }
+    return {
+        "txns": len(tail_index),
+        "p50_ms": round(p50 * 1e3, 6),
+        "p99_ms": round(p99 * 1e3, 6),
+        "amplification_x": round(p99 / p50 if p50 else 1.0, 3),
+        "categories": categories,
+    }
 
 
 def run_workload_profiles(

@@ -425,6 +425,7 @@ def durability_smoke(
     num_clients: int = 24,
     duration: float = 0.2,
     vectoring: bool = True,
+    flight_recorder: bool = False,
 ) -> MetricsCollector:
     """Short deterministic YCSB run on TREATY_FULL under the monitor.
 
@@ -433,6 +434,13 @@ def durability_smoke(
     in a few wall-clock seconds.  CI runs this and fails the build on
     any monitor violation; ``extra_info["obs"]["durability"]`` carries
     the rounds-per-committed-transaction amortization number.
+
+    ``flight_recorder`` additionally turns on the always-on observability
+    stack (ring-buffered tracer + time-series + incident detection) and
+    stores its summaries in ``extra_info["flight"]`` — the CI overhead
+    gate runs the smoke this way to prove the recorder does not move the
+    workload (the simulation is untouched: recording is subscriber-
+    driven and adds nothing to the event heap).
     """
     from ..config import TREATY_FULL
 
@@ -440,6 +448,9 @@ def durability_smoke(
         monitor=True,
         counter_vectoring=vectoring,
         monitor_liveness_timeout_s=duration,
+        flight_recorder=flight_recorder,
+        timeseries=flight_recorder,
+        incidents=flight_recorder,
     )
     cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
     ycsb = YcsbConfig(read_proportion=0.5, num_keys=2_000)
@@ -457,6 +468,14 @@ def durability_smoke(
     monitor.check_quiescent(now=cluster.sim.now)
     _attach_phase_breakdown(metrics, cluster)
     metrics.extra_info["monitor"] = monitor.summary()
+    if flight_recorder:
+        obs = cluster.obs
+        obs.timeseries.flush()
+        metrics.extra_info["flight"] = {
+            "recorder": obs.recorder.summary(),
+            "timeline": obs.timeseries.summary(),
+            "incidents": obs.incidents.counts(),
+        }
     return metrics
 
 

@@ -9,6 +9,10 @@ Commands:
 * ``trace``  — run a workload with tracing on and write a Chrome trace;
   ``trace critical-path [txn]`` instead prints a transaction's
   critical-path latency breakdown (see docs/OBSERVABILITY.md).
+* ``report`` — run a workload with the always-on flight recorder and
+  print the timeline, incident, and tail-exemplar report.
+* ``metrics``— export a workload run's metrics registry (``export
+  --prom`` renders Prometheus text exposition).
 * ``bench``  — durability-pipeline benchmarks: ``smoke`` (monitored
   full-pipeline run, the CI gate; ``--net-batch`` compares transport
   batching off vs on), ``sweep-window`` (group-commit window
@@ -216,6 +220,190 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print("jsonl        :", args.jsonl)
     print()
     print(cluster.obs.summary(title="registry snapshot"))
+    return 0
+
+
+def _run_observed_workload(
+    workload: str,
+    clients: int,
+    duration: float,
+    seed: int,
+    window_s: float,
+):
+    """One workload run with the full observability stack on.
+
+    Shared by ``repro report`` and ``repro metrics export``: flight
+    recorder (ring-buffered tracer + tail exemplars), time series, and
+    incident detection, on TREATY_FULL.  Returns the finished cluster
+    with its time series flushed.
+    """
+    from .core import TreatyCluster
+
+    config = ClusterConfig(
+        seed=seed,
+        flight_recorder=True,
+        timeseries=True,
+        timeseries_window_s=window_s,
+        incidents=True,
+        tail_warmup=8,
+    )
+    cluster = TreatyCluster(profile=TREATY_FULL, config=config).start()
+    if workload == "ycsb":
+        from .bench.metrics import MetricsCollector as Collector
+        from .workloads import YcsbConfig, bulk_load, run_ycsb
+
+        ycsb = YcsbConfig(read_proportion=0.5, num_keys=1_000)
+        cluster.run(bulk_load(cluster, ycsb), name="load")
+        run_ycsb(
+            cluster, ycsb, Collector("report"),
+            num_clients=clients, duration=duration,
+        )
+    else:  # demo: a few multi-shard transactions
+        session = cluster.session(cluster.client_machine())
+
+        def body():
+            for round_num in range(16):
+                txn = session.begin()
+                for i in range(4):
+                    yield from txn.put(
+                        b"report-%d-%04d" % (round_num, i), b"v%d" % i
+                    )
+                yield from txn.commit()
+
+        cluster.run(body())
+    cluster.obs.timeseries.flush()
+    return cluster
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Timeline + incidents + tail-exemplar report for one workload run."""
+    from .bench.reporting import format_table
+
+    cluster = _run_observed_workload(
+        args.workload, args.clients, args.duration, args.seed,
+        args.window * 1e-3,
+    )
+    obs = cluster.obs
+    timeseries, recorder, incidents = obs.timeseries, obs.recorder, obs.incidents
+
+    flight = recorder.summary()
+    timeline = timeseries.summary()
+    print("workload     :", args.workload)
+    print("sim time     : %.1f ms" % (cluster.sim.now * 1e3))
+    print("commits      : %d   (p50 %.3f ms, p%g %.3f ms)"
+          % (flight["commits"], flight["p50_ms"],
+             flight["tail_quantile"] * 100, flight["tail_ms"]))
+    print("timeline     : %d windows of %.1f ms  (tps mean %.0f, peak %.0f,"
+          " %d stalled)"
+          % (timeline["windows"], timeseries.window_s * 1e3,
+             timeline.get("tps_mean", 0.0), timeline.get("tps_peak", 0.0),
+             timeline.get("stalled_windows", 0)))
+    print("ring         : %d spans retained, %d evicted"
+          % (len(obs.records()), flight["ring_evicted"]))
+    print()
+
+    active = [w for w in timeseries.windows
+              if w["commits"] or w["aborts"] or w["frames_per_s"] > 0.0]
+    shown = active[-24:]
+    rows = [(
+        "%d" % w["window"],
+        "%.1f" % w["t0_ms"],
+        "%d" % w["commits"],
+        "%d" % w["aborts"],
+        "%.0f" % w["tps"],
+        "%.0f" % w["frames_per_s"],
+        "%.0f" % w["seal_ops_per_s"],
+        "%.3f" % w["lock_wait_p50_ms"],
+        "%.2f" % w["group_commit_occupancy"],
+    ) for w in shown]
+    title = "timeline (last %d of %d active windows)" % (len(shown),
+                                                         len(active))
+    print(format_table(
+        title,
+        ("win", "t0 ms", "commit", "abort", "tps", "frames/s",
+         "seals/s", "lock p50", "gc occ"),
+        rows,
+    ))
+    print()
+
+    incident_counts = incidents.counts()
+    if incident_counts:
+        incidents.link_exemplars()
+        print("incidents    : "
+              + "  ".join("%s=%d" % item
+                          for item in sorted(incident_counts.items())))
+        for incident in incidents.incidents[:12]:
+            exemplar = incident.get("exemplar")
+            suffix = (
+                "  [exemplar %.3f ms, %s]"
+                % (exemplar["latency_ms"], exemplar["dominant"])
+                if exemplar else ""
+            )
+            print("  %9.3f ms  %-20s node=%s %s%s"
+                  % (incident["t_ms"], incident["kind"],
+                     incident["node"] or "-", incident["details"], suffix))
+        if len(incidents.incidents) > 12:
+            print("  ... %d more" % (len(incidents.incidents) - 12))
+    else:
+        print("incidents    : none")
+    print()
+
+    table = recorder.category_table()
+    if table:
+        rows = [(
+            row["category"],
+            "%d" % row["exemplars"],
+            "%.3f" % (row["mean_latency_s"] * 1e3),
+            "%.0f%%" % (row["mean_share"] * 100),
+        ) for row in table]
+        print(format_table(
+            "tail exemplars by dominant category (%d captured)"
+            % len(recorder.exemplars),
+            ("category", "exemplars", "mean ms", "mean share"),
+            rows,
+        ))
+        worst = max(recorder.exemplars, key=lambda e: e["latency_s"])
+        breakdown = "  ".join(
+            "%s=%.3fms" % (cat, s * 1e3)
+            for cat, s in sorted(worst["breakdown"].items(),
+                                 key=lambda kv: -kv[1])
+        )
+        print("worst        : %s  %.3f ms  (%s)"
+              % (worst["trace"][:16], worst["latency_s"] * 1e3, breakdown))
+    else:
+        print("tail         : no exemplars captured "
+              "(fewer than warmup commits, or no outliers)")
+
+    if args.timeline_out:
+        timeseries.write(args.timeline_out, csv=args.csv)
+        print("timeline     written to %s" % args.timeline_out)
+    if args.incidents_out:
+        incidents.write(args.incidents_out)
+        print("incidents    written to %s" % args.incidents_out)
+    if args.exemplars_out:
+        with open(args.exemplars_out, "w") as fp:
+            fp.write(recorder.exemplars_jsonl())
+        print("exemplars    written to %s" % args.exemplars_out)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Export the metrics hub of one workload run (Prometheus or table)."""
+    from .obs import prometheus_text, summary_table
+
+    cluster = _run_observed_workload(
+        args.workload, args.clients, args.duration, args.seed, 5e-3
+    )
+    if args.prom:
+        text = prometheus_text(cluster.obs.hub)
+    else:
+        text = summary_table(cluster.obs.snapshot()) + "\n"
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write(text)
+        print("metrics written to %s" % args.out)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -475,8 +663,21 @@ def _bench_baseline(args: argparse.Namespace) -> int:
     print("frames/txn   : %.2f   seals/txn: %.2f   counter rounds/txn: %.3f"
           % (headline["frames_per_txn"], headline["seal_ops_per_txn"],
              headline["counter_rounds_per_txn"]))
+    timeline = document["timeline"]
+    print("timeline     : %d windows, tps mean %.0f peak %.0f, %d stalled"
+          % (timeline.get("windows", 0), timeline.get("tps_mean", 0.0),
+             timeline.get("tps_peak", 0.0),
+             timeline.get("stalled_windows", 0)))
+    if timeline.get("incidents"):
+        print("incidents    : "
+              + "  ".join("%s=%d" % item
+                          for item in sorted(timeline["incidents"].items())))
     print()
     print(format_phase_table(document["_aggregate"]))
+    print()
+    print(_format_tail_table(document["tail"]))
+    if args.report_dir:
+        _write_report_artifacts(document, args.report_dir)
     if args.check:
         reference_path = args.baseline_file or BASELINE_PATH
         try:
@@ -507,6 +708,45 @@ def _bench_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_tail_table(tail: dict) -> str:
+    """The baseline's p99-vs-p50 critical-path tail comparison."""
+    from .bench.reporting import format_table
+
+    rows = []
+    for category, entry in sorted(
+        tail.get("categories", {}).items(),
+        key=lambda kv: -kv[1]["tail_share"],
+    ):
+        rows.append((
+            category,
+            "%.1f%%" % (entry["share"] * 100),
+            "%.1f%%" % (entry["tail_share"] * 100),
+            "%+.1f pp" % entry["delta_pp"],
+        ))
+    title = ("critical-path tail breakdown (p99 %.3f ms = %.2fx p50, "
+             "%d tail txns)"
+             % (tail.get("p99_ms", 0.0), tail.get("amplification_x", 1.0),
+                tail.get("txns", 0)))
+    return format_table(title, ("category", "share", "tail share", "delta"),
+                        rows)
+
+
+def _write_report_artifacts(document: dict, report_dir: str) -> None:
+    """Baseline-mode CI artifacts: timeline, incidents, exemplars."""
+    import os
+
+    os.makedirs(report_dir, exist_ok=True)
+    timeseries = document["_timeseries"]
+    timeseries.write(os.path.join(report_dir, "timeline.jsonl"))
+    timeseries.write(os.path.join(report_dir, "timeline.csv"), csv=True)
+    document["_incidents"].write(
+        os.path.join(report_dir, "incidents.jsonl")
+    )
+    with open(os.path.join(report_dir, "exemplars.jsonl"), "w") as fp:
+        fp.write(document["_recorder"].exemplars_jsonl())
+    print("\nreport artifacts written to %s/" % report_dir.rstrip("/"))
+
+
 def _bench_smoke(args: argparse.Namespace) -> int:
     """Short full-pipeline run under the strict monitor (CI gate)."""
     from .bench.harness import durability_smoke
@@ -514,12 +754,30 @@ def _bench_smoke(args: argparse.Namespace) -> int:
 
     try:
         metrics = durability_smoke(
-            num_clients=args.clients or 24, duration=args.duration or 0.2
+            num_clients=args.clients or 24, duration=args.duration or 0.2,
+            flight_recorder=args.flight_recorder,
         )
     except MonitorViolation as exc:
         print("MONITOR VIOLATION: %s" % exc, file=sys.stderr)
         return 1
     _print_metrics(metrics)
+    if args.flight_recorder:
+        flight = metrics.extra_info["flight"]
+        recorder, timeline = flight["recorder"], flight["timeline"]
+        print("flight rec.  : %d commits, p50 %.3f ms, p99 %.3f ms, "
+              "%d exemplars, %d ring-evicted"
+              % (recorder["commits"], recorder["p50_ms"],
+                 recorder["tail_ms"], recorder["exemplars"],
+                 recorder["ring_evicted"]))
+        print("timeline     : %d windows, tps mean %.0f peak %.0f, "
+              "%d stalled"
+              % (timeline.get("windows", 0), timeline.get("tps_mean", 0.0),
+                 timeline.get("tps_peak", 0.0),
+                 timeline.get("stalled_windows", 0)))
+        if flight["incidents"]:
+            print("incidents    : "
+                  + "  ".join("%s=%d" % item
+                              for item in sorted(flight["incidents"].items())))
     monitor = metrics.extra_info.get("monitor", {})
     durability = metrics.extra_info["obs"].get("durability", {})
     print("monitor      : %d events, %d violations"
@@ -838,6 +1096,50 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=7)
     trace.set_defaults(func=cmd_trace)
 
+    report = subparsers.add_parser(
+        "report",
+        help="run a workload with the flight recorder on; print the "
+             "timeline, incidents, and tail-exemplar tables",
+    )
+    report.add_argument(
+        "--workload", default="ycsb", choices=["ycsb", "demo"]
+    )
+    report.add_argument("--clients", type=int, default=16)
+    report.add_argument("--duration", type=float, default=0.1,
+                        help="simulated seconds of workload")
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--window", type=float, default=5.0,
+                        help="time-series window width in milliseconds")
+    report.add_argument("--timeline-out", default=None,
+                        help="write the per-window timeline (JSONL, or "
+                             "CSV with --csv)")
+    report.add_argument("--csv", action="store_true",
+                        help="write --timeline-out as CSV instead of JSONL")
+    report.add_argument("--incidents-out", default=None,
+                        help="write the incident log as JSONL")
+    report.add_argument("--exemplars-out", default=None,
+                        help="write captured tail exemplars as JSONL")
+    report.set_defaults(func=cmd_report)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="export a workload run's metrics registry"
+    )
+    metrics.add_argument("mode", choices=["export"],
+                         help="export: run a workload, dump the hub")
+    metrics.add_argument(
+        "--prom", action="store_true",
+        help="Prometheus text exposition instead of the summary table",
+    )
+    metrics.add_argument("--out", default=None,
+                         help="write to this path instead of stdout")
+    metrics.add_argument(
+        "--workload", default="demo", choices=["ycsb", "demo"]
+    )
+    metrics.add_argument("--clients", type=int, default=8)
+    metrics.add_argument("--duration", type=float, default=0.05)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.set_defaults(func=cmd_metrics)
+
     bench = subparsers.add_parser(
         "bench",
         help="durability-pipeline benchmarks (smoke, sweep-window, scale-out)",
@@ -863,6 +1165,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrivals", default="closed", choices=["closed", "bursty"],
         help="sweep-window arrival process: closed loop or bursty "
              "(on-off with Pareto idle gaps)",
+    )
+    bench.add_argument(
+        "--flight-recorder", action="store_true",
+        help="smoke mode: run with the always-on observability stack "
+             "(ring tracer + time series + incidents) and print its "
+             "summaries — proves recording does not move the workload",
+    )
+    bench.add_argument(
+        "--report-dir", default=None,
+        help="baseline mode: also write timeline.jsonl / timeline.csv / "
+             "incidents.jsonl / exemplars.jsonl into this directory "
+             "(CI artifacts)",
     )
     bench.add_argument(
         "--net-batch", action="store_true",

@@ -388,5 +388,33 @@ class ClusterConfig:
     #: default (``repro.obs.enable_monitor_by_default``, which the test
     #: suite turns on); True/False force it for this cluster.
     monitor: Optional[bool] = None
+    #: always-on flight recorder (repro.obs.recorder): bounded trace
+    #: ring + streaming tail estimate + p99 outlier exemplars.  Safe to
+    #: leave on — memory is capped by ``trace_ring_spans``.
+    flight_recorder: bool = False
+    #: span-record cap for the flight recorder's ring buffer (FIFO
+    #: eviction); 0 = unbounded.  Ignored when full ``tracing`` is on
+    #: (explicit tracing keeps the complete buffer for export).
+    trace_ring_spans: int = 50_000
+    #: windowed time-series recorder (repro.obs.timeseries): per-window
+    #: tps / abort / frame / seal rates and queue gauges.
+    timeseries: bool = False
+    #: time-series window width, simulated seconds.
+    timeseries_window_s: float = 0.005
+    #: structured incident detection (repro.obs.incidents): takeovers,
+    #: lease-expiry fallbacks, OCC retry storms, lock convoys, stalls.
+    incidents: bool = False
+    #: quantile the flight recorder tracks for exemplar capture.
+    tail_quantile: float = 0.99
+    #: commits observed before exemplar capture arms (lets the streaming
+    #: estimate settle so early txns aren't all "outliers").
+    tail_warmup: int = 32
+    #: max captured exemplars; the fastest is evicted first.
+    max_exemplars: int = 16
+    #: OCC conflicts within one time-series window that count as a
+    #: retry storm.
+    incident_occ_storm_conflicts: int = 20
+    #: lock wait, simulated seconds, that counts as a convoy.
+    incident_lock_convoy_s: float = 0.01
     seed: int = 2022
     costs: CostModel = field(default_factory=CostModel)

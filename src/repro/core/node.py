@@ -176,6 +176,7 @@ class TreatyNode:
         # between the node's Coordinator and Participant roles so the
         # coordinator's own slot counts toward the quorum.
         self.ledger = DecisionLedger(self.config.num_nodes)
+        self.ledger.install_metrics(self.runtime.metrics)
         if self.config.storage_engine == "null":
             from ..storage.nullengine import NullStorageEngine
 

@@ -362,6 +362,15 @@ class DecisionLedger:
         #: slots written by a remote record (metric feed).
         self.replicated = 0
 
+    def install_metrics(self, metrics) -> None:
+        """Expose live slot occupancy (``decision.slots``) as a probe.
+
+        Slots are enclave memory that persists for the deployment's
+        lifetime, so the gauge doubles as a leak watch: it should track
+        committed-transaction count, never run ahead of it.
+        """
+        metrics.probe("decision.slots", lambda: len(self.slots))
+
     @property
     def commit_quorum(self) -> int:
         """Majority of all nodes (the coordinator's slot counts)."""

@@ -352,6 +352,11 @@ class CounterClient:
         runtime.metrics.probe(
             "counter.rounds_executed", lambda: self.rounds_executed
         )
+        for shard in range(self.num_shards):
+            runtime.metrics.probe(
+                "counter.pending.%d" % shard,
+                lambda s=shard: len(self._pending_target[s]),
+            )
         self._batch_hist = runtime.metrics.histogram(
             "stabilize.batch_size", edges=BATCH_SIZE_BUCKETS
         )

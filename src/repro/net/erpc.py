@@ -233,6 +233,12 @@ class ErpcEndpoint:
         queue = self._tx_queues.get(key)
         if queue is None:
             queue = self._tx_queues[key] = deque()
+            # Per-destination depth gauge, sampled only at snapshot time
+            # (a probe costs nothing on the enqueue path).
+            self.runtime.metrics.probe(
+                "net.txq.depth.%s.%s" % (dst, "req" if is_request else "rsp"),
+                lambda q=queue: len(q),
+            )
         queue.append(sub)
         if key not in self._flushers:
             self._flushers.add(key)

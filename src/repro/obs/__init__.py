@@ -36,12 +36,15 @@ from .critpath import (
 from .export import (
     chrome_trace,
     load_chrome_trace,
+    prometheus_text,
     summary_table,
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
 )
+from .incidents import INCIDENT_KINDS, IncidentLog
 from .monitor import InvariantMonitor, MonitorViolation
+from .recorder import FlightRecorder, P2Quantile
 from .registry import (
     Counter,
     Gauge,
@@ -50,7 +53,9 @@ from .registry import (
     MetricsHub,
     MetricsRegistry,
     SIZE_BUCKETS_BYTES,
+    bucket_quantile,
 )
+from .timeseries import TimeSeriesRecorder
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
 
 __all__ = [
@@ -82,6 +87,13 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "summary_table",
+    "prometheus_text",
+    "bucket_quantile",
+    "FlightRecorder",
+    "P2Quantile",
+    "TimeSeriesRecorder",
+    "IncidentLog",
+    "INCIDENT_KINDS",
     "enable_monitor_by_default",
     "monitor_enabled_by_default",
 ]
@@ -120,14 +132,38 @@ class Observability:
         strict_monitor: bool = True,
         trace_processes: bool = False,
         liveness_timeout: Optional[float] = None,
+        flight_recorder: bool = False,
+        trace_ring_spans: int = 50_000,
+        timeseries: bool = False,
+        timeseries_window_s: float = 0.005,
+        incidents: bool = False,
+        tail_quantile: float = 0.99,
+        tail_warmup: int = 32,
+        max_exemplars: int = 16,
+        incident_occ_storm_conflicts: int = 20,
+        incident_lock_convoy_s: float = 0.01,
     ):
         self.sim = sim
         self.hub = MetricsHub()
         self.tracer: Optional[Tracer] = None
         self.monitor: Optional[InvariantMonitor] = None
-        if tracing or monitor:
+        self.recorder: Optional[FlightRecorder] = None
+        self.timeseries: Optional[TimeSeriesRecorder] = None
+        self.incidents: Optional[IncidentLog] = None
+        need_tracer = (tracing or monitor or flight_recorder
+                       or timeseries or incidents)
+        if need_tracer:
+            # The flight recorder needs retained records to retro-dump
+            # exemplars from; without full tracing it runs on a bounded
+            # ring (`trace_ring_spans`, 0 = unbounded) so it is safe to
+            # leave on.  Explicit tracing keeps the full buffer — the
+            # export tests byte-compare complete traces.
+            ring = (trace_ring_spans or None) if (
+                flight_recorder and not tracing
+            ) else None
             self.tracer = Tracer(
-                sim, record=tracing, trace_processes=trace_processes
+                sim, record=tracing or flight_recorder,
+                trace_processes=trace_processes, ring_max=ring,
             )
             sim.tracer = self.tracer
         if monitor:
@@ -136,6 +172,27 @@ class Observability:
                 strict=strict_monitor,
                 liveness_timeout=liveness_timeout,
             ).attach(self.tracer)
+        if flight_recorder:
+            self.recorder = FlightRecorder(
+                self.tracer, tail_quantile=tail_quantile,
+                warmup=tail_warmup, max_exemplars=max_exemplars,
+            ).attach()
+        if timeseries:
+            self.timeseries = TimeSeriesRecorder(
+                sim, self.hub, window_s=timeseries_window_s
+            ).attach(self.tracer)
+        if incidents:
+            self.incidents = IncidentLog(
+                recorder=self.recorder,
+                occ_storm_conflicts=incident_occ_storm_conflicts,
+                lock_convoy_s=incident_lock_convoy_s,
+            ).attach(self.tracer)
+            if self.timeseries is not None:
+                self.timeseries.on_window.append(
+                    self.incidents.observe_window
+                )
+            if self.monitor is not None:
+                self.monitor.on_violation = self.incidents.monitor_violation
         sim.obs = self
 
     @property

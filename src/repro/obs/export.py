@@ -15,6 +15,11 @@ Three output formats:
   the transaction's span DAG.
 * **summary table** — a fixed-width text rendering of registry
   snapshots for terminals and bench reports.
+* **Prometheus text exposition** — renders a :class:`MetricsHub` in the
+  ``text/plain; version=0.0.4`` format so the simulated cluster's
+  metrics drop into real dashboards: counters as ``_total``, probes and
+  gauges as gauges, histograms as cumulative ``_bucket{le=...}`` series
+  with ``_sum``/``_count``, every sample labelled with its component.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ __all__ = [
     "write_chrome_trace",
     "load_chrome_trace",
     "summary_table",
+    "prometheus_text",
 ]
 
 Record = Dict[str, Any]
@@ -188,6 +194,92 @@ def load_chrome_trace(path_or_fp: Union[str, IO]) -> List[Dict[str, Any]]:
         with open(path_or_fp) as fp:
             document = json.load(fp)
     return [event for event in document["traceEvents"] if event["ph"] != "M"]
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """``net.txq.depth.node1.req`` -> ``repro_net_txq_depth_node1_req``."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _prom_label(component: str) -> str:
+    escaped = component.replace("\\", "\\\\").replace('"', '\\"')
+    return '{component="%s"}' % escaped
+
+
+def prometheus_text(hub) -> str:
+    """Render a :class:`~repro.obs.registry.MetricsHub` as Prometheus
+    text exposition (``text/plain; version=0.0.4``).
+
+    One family per metric name, components as a label.  Counters get the
+    ``_total`` suffix; probes (sampled at snapshot time) and gauges
+    export as gauges; histograms become cumulative ``_bucket`` series
+    plus ``_sum`` and ``_count``.  Deterministic: families and samples
+    are emitted in sorted order.
+    """
+    counters: Dict[str, List[Any]] = {}
+    gauges: Dict[str, List[Any]] = {}
+    histograms: Dict[str, List[Any]] = {}
+    for component in sorted(hub._registries):
+        registry = hub._registries[component]
+        for name, counter in registry._counters.items():
+            counters.setdefault(name, []).append((component, counter.value))
+        for name, gauge in registry._gauges.items():
+            gauges.setdefault(name, []).append((component, gauge.value))
+        for name, fn in registry._probes.items():
+            value = fn()
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                gauges.setdefault(name, []).append((component, value))
+        for name, histogram in registry._histograms.items():
+            histograms.setdefault(name, []).append((component, histogram))
+
+    lines: List[str] = []
+    for name in sorted(counters):
+        family = _prom_name(name) + "_total"
+        lines.append("# TYPE %s counter" % family)
+        for component, value in counters[name]:
+            lines.append("%s%s %s" % (family, _prom_label(component),
+                                      _prom_value(value)))
+    for name in sorted(gauges):
+        family = _prom_name(name)
+        lines.append("# TYPE %s gauge" % family)
+        for component, value in gauges[name]:
+            lines.append("%s%s %s" % (family, _prom_label(component),
+                                      _prom_value(value)))
+    for name in sorted(histograms):
+        family = _prom_name(name)
+        lines.append("# TYPE %s histogram" % family)
+        for component, histogram in histograms[name]:
+            escaped = component.replace("\\", "\\\\").replace('"', '\\"')
+            cumulative = 0
+            for edge, count in zip(histogram.edges, histogram.counts):
+                cumulative += count
+                lines.append(
+                    '%s_bucket{component="%s",le="%s"} %d'
+                    % (family, escaped, _prom_value(edge), cumulative)
+                )
+            lines.append(
+                '%s_bucket{component="%s",le="+Inf"} %d'
+                % (family, escaped, histogram.total)
+            )
+            lines.append("%s_sum%s %s" % (family, _prom_label(component),
+                                          repr(float(histogram.sum))))
+            lines.append("%s_count%s %d" % (family, _prom_label(component),
+                                            histogram.total))
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # -- plain-text summaries ------------------------------------------------------

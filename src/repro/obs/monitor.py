@@ -63,6 +63,10 @@ class InvariantMonitor:
         self.strict = strict
         #: I5 horizon in simulated seconds; ``None`` disables the check.
         self.liveness_timeout = liveness_timeout
+        #: optional ``callback(sim_time, message)`` invoked for every
+        #: violation before it is raised/collected — the incident log's
+        #: hook (repro.obs.incidents).
+        self.on_violation: Optional[Any] = None
         self.reset()
 
     def reset(self) -> None:
@@ -75,6 +79,8 @@ class InvariantMonitor:
         """
         self.violations: List[str] = []
         self.events_seen = 0
+        #: timestamp of the last record seen (what on_violation reports).
+        self.last_seen_t = 0.0
         #: highest stable counter value observed per log name (the
         #: monitor's global knowledge, max over all observers).
         self.stable: Dict[str, int] = {}
@@ -109,6 +115,8 @@ class InvariantMonitor:
 
     def _violate(self, message: str) -> None:
         self.violations.append(message)
+        if self.on_violation is not None:
+            self.on_violation(self.last_seen_t, message)
         if self.strict:
             raise MonitorViolation(message)
 
@@ -116,6 +124,7 @@ class InvariantMonitor:
     def on_record(self, rec: Dict[str, Any]) -> None:
         if rec["type"] != "event":
             return
+        self.last_seen_t = rec["t"]
         self.events_seen += 1
         key = (rec["cat"], rec["name"])
         handler = _HANDLERS.get(key)

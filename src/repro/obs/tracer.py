@@ -43,6 +43,7 @@ finalized, whether or not the tracer retains records for export.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "tracer_of"]
@@ -97,12 +98,21 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, sim, record: bool = True, trace_processes: bool = False):
+    def __init__(self, sim, record: bool = True, trace_processes: bool = False,
+                 ring_max: Optional[int] = None):
         self.sim = sim
         self.record = record
         #: emit sim-process start/finish events (chatty; off by default).
         self.trace_processes = trace_processes
-        self.records: List[Dict[str, Any]] = []
+        #: flight-recorder mode: retain at most ``ring_max`` records,
+        #: evicting the oldest (FIFO in emission order, so eviction is
+        #: exactly as deterministic as emission).  ``None`` = unbounded.
+        self.ring_max = ring_max
+        if ring_max is not None:
+            self.records: Any = deque(maxlen=ring_max)
+        else:
+            self.records = []
+        self.records_evicted = 0
         self.subscribers: List[Subscriber] = []
         self._ids = itertools.count(1)
         #: open-span stack for code running outside any process.
@@ -122,6 +132,9 @@ class Tracer:
 
     def _emit(self, rec: Dict[str, Any]) -> None:
         if self.record:
+            if (self.ring_max is not None
+                    and len(self.records) == self.ring_max):
+                self.records_evicted += 1
             self.records.append(rec)
         for subscriber in self.subscribers:
             subscriber(rec)
@@ -272,6 +285,8 @@ class NullTracer:
     enabled = False
     record = False
     records: List[Dict[str, Any]] = []
+    ring_max: Optional[int] = None
+    records_evicted = 0
 
     __slots__ = ()
 

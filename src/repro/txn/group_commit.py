@@ -110,6 +110,15 @@ class GroupCommitter:
         self._batch_hist = runtime.metrics.histogram(
             "group_commit.batch_size", edges=_BATCH_BUCKETS
         )
+        #: batch occupancy = admitted / max_group, one observation per
+        #: batch: how full groups run under the current window policy.
+        self._occupancy_hist = runtime.metrics.histogram(
+            "group_commit.occupancy",
+            edges=(0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
+        )
+        runtime.metrics.probe(
+            "group_commit.queue_depth", lambda: len(self._queue)
+        )
 
     # -- window -------------------------------------------------------------
     def _observe_arrival(self) -> None:
@@ -223,6 +232,7 @@ class GroupCommitter:
         counters = yield from self.engine.log_commits(records)
         log_name = self.engine.wal_log_name
         self._batch_hist.observe(len(admitted))
+        self._occupancy_hist.observe(len(admitted) / self.max_group)
         if self.pipeline is not None:
             # Seqs were assigned in batch order before the WAL counters,
             # and batches are serialized by the leader critical section,

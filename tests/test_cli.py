@@ -60,3 +60,53 @@ class TestCommands:
         )
         assert code == 0
         assert "throughput" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_parses_with_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.workload == "ycsb"
+        assert args.clients == 16
+        assert args.window == 5.0
+        assert args.timeline_out is None
+
+    def test_metrics_export_parses(self):
+        args = build_parser().parse_args(["metrics", "export", "--prom"])
+        assert args.mode == "export"
+        assert args.prom is True
+
+    def test_bench_flight_recorder_flag(self):
+        args = build_parser().parse_args(
+            ["bench", "smoke", "--flight-recorder"])
+        assert args.flight_recorder is True
+        args = build_parser().parse_args(["bench", "smoke"])
+        assert args.flight_recorder is False
+
+    def test_report_runs_small(self, capsys, tmp_path):
+        timeline = tmp_path / "timeline.jsonl"
+        incidents = tmp_path / "incidents.jsonl"
+        code = main(
+            ["report", "--workload", "demo", "--clients", "4",
+             "--duration", "0.02", "--seed", "3",
+             "--timeline-out", str(timeline),
+             "--incidents-out", str(incidents)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "timeline" in output
+        assert "ring" in output
+        assert "commits" in output
+        assert timeline.exists()
+        first = timeline.read_text().splitlines()[0]
+        assert '"window":0' in first
+        assert incidents.exists()
+
+    def test_metrics_export_prom_runs(self, capsys):
+        code = main(
+            ["metrics", "export", "--prom", "--workload", "demo",
+             "--clients", "2", "--duration", "0.01", "--seed", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_" in output
+        assert "_total{component=" in output

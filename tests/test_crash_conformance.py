@@ -176,6 +176,10 @@ def test_crash_point_conformance(seed, backend):
                 records,
                 os.path.join(trace_dir, stem + ".critpath.txt"),
             )
+            _export_incidents(
+                records,
+                os.path.join(trace_dir, stem + ".incidents.jsonl"),
+            )
         raise
 
 
@@ -194,6 +198,19 @@ def _export_critical_paths(records, path):
                             % (trace, exc))
     with open(path, "w") as fp:
         fp.write("\n\n".join(sections) + "\n")
+
+
+def _export_incidents(records, path):
+    """Post-hoc incident log for the failing seed: the record-driven
+    detectors (takeover, lease expiry, lock convoy) replayed over the
+    saved trace.  Best effort, like the critical-path export."""
+    from repro.obs import IncidentLog
+
+    try:
+        IncidentLog.from_records(records).write(path)
+    except Exception as exc:  # noqa: BLE001 - diagnostic export only
+        with open(path, "w") as fp:
+            fp.write('{"error": "incident replay failed: %s"}\n' % exc)
 
 
 def _run_one_seed(cluster, rng, point, occurrence, victim_offset,
